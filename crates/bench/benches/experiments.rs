@@ -1,0 +1,82 @@
+//! Experiment benchmarks: one Criterion target per paper table/figure,
+//! timing the *evaluation* phase on a scaled-down testbed (the fixture
+//! is built once, outside the timed region). The full-scale numbers are
+//! produced by the `repro` binary; these benches keep every experiment
+//! code path exercised and timed by `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mp_bench::{bench_testbed, optimal_policy_testbed};
+use mp_core::CorrectnessMetric;
+use mp_eval::experiments::ablations::{
+    run_policy_ablation, run_theta_ablation, run_training_size_ablation,
+};
+use mp_eval::experiments::fig15_selection::run_fig15;
+use mp_eval::experiments::fig16_probing::run_fig16;
+use mp_eval::experiments::fig17_threshold::run_fig17;
+use mp_eval::experiments::fig7_sampling::{run_sampling_study, SamplingStudyConfig};
+use mp_eval::experiments::fig9_query_types::run_fig9;
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    let mut cfg = SamplingStudyConfig::tiny(5);
+    cfg.pool_size = 400;
+    c.bench_function("exp/fig7_fig8_sampling_study", |b| {
+        b.iter(|| black_box(run_sampling_study(&cfg)))
+    });
+}
+
+fn bench_testbed_experiments(c: &mut Criterion) {
+    let tb = bench_testbed(5);
+
+    c.bench_function("exp/fig9_query_type_eds", |b| {
+        b.iter(|| black_box(run_fig9(&tb, 0)))
+    });
+    c.bench_function("exp/fig15_selection_methods", |b| {
+        b.iter(|| black_box(run_fig15(&tb)))
+    });
+    c.bench_function("exp/fig16_probing_curves", |b| {
+        b.iter(|| black_box(run_fig16(&tb, 5)))
+    });
+    c.bench_function("exp/fig17_threshold_sweep", |b| {
+        b.iter(|| black_box(run_fig17(&tb, 1, CorrectnessMetric::Absolute)))
+    });
+    c.bench_function("exp/a2_theta_sweep", |b| {
+        b.iter(|| black_box(run_theta_ablation(&tb, &[25.0, 100.0])))
+    });
+    c.bench_function("exp/a3_training_size", |b| {
+        b.iter(|| black_box(run_training_size_ablation(&tb, &[50, 150])))
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let tb = bench_testbed(5);
+    c.bench_function("exp/a1_policies_no_optimal", |b| {
+        b.iter(|| {
+            black_box(run_policy_ablation(
+                &tb,
+                1,
+                CorrectnessMetric::Absolute,
+                0.9,
+                false,
+            ))
+        })
+    });
+    let small = optimal_policy_testbed(5);
+    c.bench_function("exp/a1_policies_with_optimal", |b| {
+        b.iter(|| {
+            black_box(run_policy_ablation(
+                &small,
+                1,
+                CorrectnessMetric::Absolute,
+                0.9,
+                true,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_fig7_fig8, bench_testbed_experiments, bench_policies
+}
+criterion_main!(benches);

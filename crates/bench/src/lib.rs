@@ -1,0 +1,108 @@
+//! # mp-bench — benchmark fixtures for `metaprobe`
+//!
+//! Shared testbed builders used by the Criterion benches and the
+//! `repro` binary that regenerates every table and figure of the paper
+//! (see `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mp_core::CoreConfig;
+use mp_corpus::{ScenarioConfig, ScenarioKind, TopicModelConfig};
+use mp_eval::experiments::SamplingStudyConfig;
+use mp_eval::{Testbed, TestbedConfig};
+use mp_workload::QueryGenConfig;
+
+/// The full-scale reproduction testbed (paper Section 6.1 shape):
+/// 20 health databases, 1000+1000 train and test queries per arity.
+/// `scale` multiplies database sizes (1.0 ≈ 500–8000 docs each).
+pub fn paper_testbed(seed: u64, scale: f64) -> Testbed {
+    let mut cfg = TestbedConfig::paper(seed);
+    cfg.scenario.scale = scale;
+    Testbed::build(cfg)
+}
+
+/// A scaled-down testbed for Criterion benches: small corpora, a few
+/// hundred queries — large enough to exercise every code path, small
+/// enough for repeated timing.
+pub fn bench_testbed(seed: u64) -> Testbed {
+    let cfg = TestbedConfig {
+        scenario: ScenarioConfig {
+            scale: 0.15,
+            n_databases: 10,
+            ..ScenarioConfig::new(ScenarioKind::Health, seed)
+        },
+        n_two: 80,
+        n_three: 50,
+        core: CoreConfig::default().with_threshold(2.0),
+        relevancy: mp_core::RelevancyDef::DocFrequency,
+        summaries: mp_eval::SummaryMode::Cooperative,
+        workload: QueryGenConfig { seed: seed ^ 0x51_7e_a5, ..QueryGenConfig::default() },
+    };
+    Testbed::build(cfg)
+}
+
+/// A small testbed with coarse ED bins whose RD supports fit the
+/// exhaustive [`mp_core::probing::OptimalPolicy`] guards — used by the
+/// policy ablation that includes the optimal yardstick.
+pub fn optimal_policy_testbed(seed: u64) -> Testbed {
+    let cfg = TestbedConfig {
+        scenario: ScenarioConfig {
+            n_databases: 5,
+            scale: 0.08,
+            topics: TopicModelConfig {
+                n_topics: 6,
+                terms_per_topic: 60,
+                background_terms: 60,
+                seed,
+                ..TopicModelConfig::default()
+            },
+            ..ScenarioConfig::new(ScenarioKind::Health, seed)
+        },
+        n_two: 150,
+        n_three: 100,
+        core: CoreConfig {
+            ed_edges: vec![-0.5, 0.05, 1.0],
+            ..CoreConfig::default()
+        }
+        .with_threshold(10.0),
+        relevancy: mp_core::RelevancyDef::DocFrequency,
+        summaries: mp_eval::SummaryMode::Cooperative,
+        workload: QueryGenConfig {
+            seed: seed ^ 0x51_7e_a5,
+            window: 12,
+            ..QueryGenConfig::default()
+        },
+    };
+    Testbed::build(cfg)
+}
+
+/// The full-scale Figure 7/8 sampling study configuration.
+pub fn paper_sampling_config(seed: u64, scale: f64) -> SamplingStudyConfig {
+    let mut cfg = SamplingStudyConfig::paper(seed);
+    cfg.scenario.scale = scale;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_testbed_builds() {
+        let tb = bench_testbed(7);
+        assert_eq!(tb.n_databases(), 10);
+        assert_eq!(tb.split.test.len(), 130);
+    }
+
+    #[test]
+    fn optimal_testbed_has_small_supports() {
+        let tb = optimal_policy_testbed(7);
+        assert_eq!(tb.n_databases(), 5);
+        for q in tb.split.test.queries().iter().take(20) {
+            for rd in tb.rds(q) {
+                assert!(rd.len() <= 4, "support {} too large", rd.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The CLI commands, as testable functions returning their output text.
+
+use crate::state::{self, StateConfig, StateError};
+use mp_core::probing::{ByEstimatePolicy, GreedyPolicy, ProbePolicy, RandomPolicy, UncertaintyPolicy};
+use mp_core::rd::derive_all_rds;
+use mp_core::selection::{baseline_select, best_set};
+use mp_core::{AproConfig, CorrectnessMetric, EdLibrary, Metasearcher, RelevancyDef};
+use mp_corpus::ScenarioKind;
+use mp_eval::report::{fmt3, TextTable};
+use mp_text::Analyzer;
+use mp_workload::Query;
+use std::path::Path;
+
+/// `metaprobe generate`: writes the testbed recipe into the state dir.
+pub fn run_generate(
+    dir: &Path,
+    kind: ScenarioKind,
+    seed: u64,
+    scale: f64,
+    n_databases: usize,
+) -> Result<String, StateError> {
+    let config = StateConfig::default_for(kind, seed, scale, n_databases);
+    state::save_config(dir, &config)?;
+    // Build once to validate and report.
+    let st = state::load_state(dir)?;
+    let mut out = format!(
+        "initialized {} ({:?}, seed {seed}, scale {scale})\n",
+        dir.display(),
+        kind
+    );
+    out.push_str(&format!(
+        "{} databases, {} train / {} test queries\nnext: metaprobe train --state {}\n",
+        st.testbed.n_databases(),
+        st.testbed.split.train.len(),
+        st.testbed.split.test.len(),
+        dir.display()
+    ));
+    Ok(out)
+}
+
+/// `metaprobe train`: trains the ED library and persists it.
+pub fn run_train(dir: &Path) -> Result<String, StateError> {
+    let st = state::load_state(dir)?;
+    // The testbed's library was already trained during the rebuild;
+    // persist it (identical to retraining — everything is seeded).
+    mp_core::save_library(&st.testbed.library, state::library_path(dir))
+        .map_err(|e| StateError::Io(std::io::Error::other(e.to_string())))?;
+    let probes = st.testbed.split.train.len() * st.testbed.n_databases();
+    Ok(format!(
+        "trained on {} queries × {} databases ({} offline probes)\nlibrary saved to {}\n",
+        st.testbed.split.train.len(),
+        st.testbed.n_databases(),
+        probes,
+        state::library_path(dir).display()
+    ))
+}
+
+/// `metaprobe info`: databases, sizes, and per-leaf training coverage.
+pub fn run_info(dir: &Path) -> Result<String, StateError> {
+    let st = state::load_state(dir)?;
+    let mut table = TextTable::new(
+        format!("state {}", dir.display()),
+        &["database", "documents", "trained leaves"],
+    );
+    let lib: Option<&EdLibrary> = st.trained.as_ref();
+    for i in 0..st.testbed.n_databases() {
+        let db = st.testbed.mediator.db(i);
+        let leaves = lib
+            .map(|l| l.sample_counts(i).len().to_string())
+            .unwrap_or_else(|| "-".to_string());
+        table.row(&[
+            db.name().to_string(),
+            db.size_hint().map(|s| s.to_string()).unwrap_or_else(|| "?".into()),
+            leaves,
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!(
+        "model: {}\n",
+        if st.trained.is_some() { "trained (library.json)" } else { "untrained — run `metaprobe train`" }
+    ));
+    Ok(out)
+}
+
+/// Builds a probing policy by name.
+pub fn policy_by_name(name: &str, seed: u64) -> Option<Box<dyn ProbePolicy>> {
+    match name {
+        "greedy" => Some(Box::new(GreedyPolicy)),
+        "random" => Some(Box::new(RandomPolicy::new(seed))),
+        "by-estimate" => Some(Box::new(ByEstimatePolicy)),
+        "max-uncertainty" => Some(Box::new(UncertaintyPolicy)),
+        _ => None,
+    }
+}
+
+/// `metaprobe query`: answers one keyword query with certainty-controlled
+/// selection, printing the decision trail.
+pub fn run_query(
+    dir: &Path,
+    text: &str,
+    k: usize,
+    threshold: f64,
+    policy_name: &str,
+) -> Result<String, StateError> {
+    let st = state::load_state(dir)?;
+    let library = st.library()?.clone();
+    let Some(query) = Query::parse(text, &Analyzer::plain(), st.testbed.model.vocab()) else {
+        return Ok(format!(
+            "no known terms in {text:?} — try `metaprobe suggest` for vocabulary samples\n"
+        ));
+    };
+    let Some(mut policy) = policy_by_name(policy_name, 0) else {
+        return Ok(format!(
+            "unknown policy {policy_name:?} (greedy | random | by-estimate | max-uncertainty)\n"
+        ));
+    };
+
+    let ms = Metasearcher::with_library(
+        st.testbed.mediator.clone(),
+        Box::new(mp_core::IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        library,
+    );
+    let mut out = format!("query: \"{}\"\n", query.display(st.testbed.model.vocab()));
+
+    let baseline = ms.select_baseline(&query, k);
+    out.push_str(&format!(
+        "baseline would pick: {:?}\n",
+        baseline.iter().map(|&i| ms.mediator().db(i).name()).collect::<Vec<_>>()
+    ));
+
+    let result = ms.search(
+        &query,
+        AproConfig {
+            k,
+            threshold,
+            metric: CorrectnessMetric::Partial,
+            max_probes: None,
+        },
+        policy.as_mut(),
+        10,
+    );
+    for record in &result.outcome.probes {
+        out.push_str(&format!(
+            "probed {:16} → actual {:>8.1}, certainty {:.2}\n",
+            ms.mediator().db(record.db).name(),
+            record.actual,
+            record.expected_after
+        ));
+    }
+    out.push_str(&format!(
+        "selected {:?} with certainty {:.2} after {} probe(s)\n",
+        result
+            .outcome
+            .selected
+            .iter()
+            .map(|&i| ms.mediator().db(i).name())
+            .collect::<Vec<_>>(),
+        result.outcome.expected,
+        result.outcome.n_probes()
+    ));
+    out.push_str(&format!("{} fused result document(s)\n", result.hits.len()));
+    Ok(out)
+}
+
+/// `metaprobe suggest`: prints example queries from the held-out trace
+/// (useful because the synthetic vocabulary is pseudo-words).
+pub fn run_suggest(dir: &Path, n: usize) -> Result<String, StateError> {
+    let st = state::load_state(dir)?;
+    let mut out = String::from("example queries from the held-out trace:\n");
+    for q in st.testbed.split.test.queries().iter().take(n) {
+        out.push_str(&format!("  {}\n", q.display(st.testbed.model.vocab())));
+    }
+    Ok(out)
+}
+
+/// `metaprobe eval`: baseline vs RD-based on the held-out test set.
+pub fn run_eval(dir: &Path, k: usize) -> Result<String, StateError> {
+    let st = state::load_state(dir)?;
+    let library = st.library()?;
+    let tb = &st.testbed;
+    let queries = tb.split.test.queries();
+    let mut base_ok = 0.0;
+    let mut rd_ok = 0.0;
+    for (qi, q) in queries.iter().enumerate() {
+        let golden = tb.golden.topk(qi, k);
+        let est = tb.estimates(q);
+        base_ok += mp_core::partial_correctness(&baseline_select(&est, k), &golden);
+        let rds = derive_all_rds(&est, q, library);
+        let (set, _) = best_set(&rds, k, CorrectnessMetric::Partial);
+        rd_ok += mp_core::partial_correctness(&set, &golden);
+    }
+    let n = queries.len() as f64;
+    let mut table = TextTable::new(
+        format!("held-out evaluation (k={k}, {} queries, partial correctness)", queries.len()),
+        &["method", "Avg(Cor_p)"],
+    );
+    table.row(&["baseline".into(), fmt3(base_ok / n)]);
+    table.row(&["RD-based".into(), fmt3(rd_ok / n)]);
+    Ok(table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_corpus::ScenarioKind;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("metaprobe-cli-cmd-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Writes a *tiny* state (the default generate config is too big for
+    /// unit tests).
+    fn init_tiny(dir: &Path) {
+        let mut c = StateConfig::default_for(ScenarioKind::Health, 5, 0.05, 5);
+        c.scenario.topics.n_topics = 6;
+        c.scenario.topics.terms_per_topic = 60;
+        c.scenario.topics.background_terms = 60;
+        c.core = mp_core::CoreConfig::default().with_threshold(10.0);
+        c.workload.window = 12;
+        c.n_two = 40;
+        c.n_three = 30;
+        state::save_config(dir, &c).unwrap();
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let dir = tmp_dir("workflow");
+        init_tiny(&dir);
+
+        let trained = run_train(&dir).unwrap();
+        assert!(trained.contains("library saved"));
+
+        let info = run_info(&dir).unwrap();
+        assert!(info.contains("trained (library.json)"));
+        assert!(info.contains("med."));
+
+        let suggestions = run_suggest(&dir, 3).unwrap();
+        let first_query = suggestions.lines().nth(1).unwrap().trim().to_string();
+        assert!(!first_query.is_empty());
+
+        let answer = run_query(&dir, &first_query, 1, 0.8, "greedy").unwrap();
+        assert!(answer.contains("selected"), "{answer}");
+        assert!(answer.contains("certainty"));
+
+        let eval = run_eval(&dir, 1).unwrap();
+        assert!(eval.contains("RD-based"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_before_train_is_a_clear_error() {
+        let dir = tmp_dir("untrained");
+        init_tiny(&dir);
+        match run_query(&dir, "anything", 1, 0.8, "greedy") {
+            Err(StateError::NotTrained(_)) => {}
+            other => panic!("expected NotTrained, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_terms_and_policies_are_handled() {
+        let dir = tmp_dir("unknowns");
+        init_tiny(&dir);
+        run_train(&dir).unwrap();
+        let out = run_query(&dir, "zzzz qqqq", 1, 0.8, "greedy").unwrap();
+        assert!(out.contains("no known terms"));
+        let out = run_query(&dir, "zzzz", 1, 0.8, "nonsense-policy").unwrap();
+        assert!(out.contains("no known terms") || out.contains("unknown policy"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn policies_resolve_by_name() {
+        for name in ["greedy", "random", "by-estimate", "max-uncertainty"] {
+            assert!(policy_by_name(name, 0).is_some(), "{name}");
+        }
+        assert!(policy_by_name("optimal-but-wrong", 0).is_none());
+    }
+}

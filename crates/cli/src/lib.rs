@@ -1,0 +1,26 @@
+//! # mp-cli — the `metaprobe` command-line tool
+//!
+//! A stateful workflow over the library:
+//!
+//! ```text
+//! metaprobe generate --state demo            # synthesize a testbed
+//! metaprobe train    --state demo            # learn the ED library
+//! metaprobe info     --state demo            # inspect databases & model
+//! metaprobe query    --state demo --text "bofura dafura" --threshold 0.9
+//! metaprobe eval     --state demo --k 3      # baseline vs RD-based
+//! ```
+//!
+//! State lives in a directory: a JSON config (`config.json`) that
+//! deterministically regenerates the corpus and workload, plus the
+//! trained library (`library.json`). Corpora are regenerated on load
+//! rather than stored — generation is seeded and cheaper than
+//! serializing inverted indexes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod state;
+
+pub use commands::{run_eval, run_generate, run_info, run_query, run_train};
+pub use state::{CliState, StateConfig};

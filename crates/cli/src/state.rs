@@ -1,0 +1,209 @@
+//! CLI state: a directory holding the testbed recipe and trained model.
+
+use mp_core::{CoreConfig, EdLibrary, RelevancyDef};
+use mp_corpus::{ScenarioConfig, ScenarioKind};
+use mp_eval::{SummaryMode, Testbed, TestbedConfig};
+use mp_workload::QueryGenConfig;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// The persisted recipe (everything needed to regenerate the testbed
+/// deterministically).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StateConfig {
+    /// Corpus scenario recipe.
+    pub scenario: ScenarioConfig,
+    /// Probabilistic-model knobs.
+    pub core: CoreConfig,
+    /// Workload recipe.
+    pub workload: QueryGenConfig,
+    /// 2-term queries per split side.
+    pub n_two: usize,
+    /// 3-term queries per split side.
+    pub n_three: usize,
+}
+
+impl StateConfig {
+    /// The default CLI testbed: a laptop-friendly health scenario.
+    pub fn default_for(kind: ScenarioKind, seed: u64, scale: f64, n_databases: usize) -> Self {
+        let mut scenario = ScenarioConfig::new(kind, seed);
+        scenario.scale = scale;
+        scenario.n_databases = n_databases;
+        Self {
+            scenario,
+            core: CoreConfig::default().with_threshold(0.5),
+            workload: QueryGenConfig { seed: seed ^ 0x51_7e_a5, ..QueryGenConfig::default() },
+            n_two: 300,
+            n_three: 200,
+        }
+    }
+
+    /// Converts to the evaluation harness's testbed config.
+    pub fn testbed_config(&self) -> TestbedConfig {
+        TestbedConfig {
+            scenario: self.scenario.clone(),
+            n_two: self.n_two,
+            n_three: self.n_three,
+            core: self.core.clone(),
+            relevancy: RelevancyDef::DocFrequency,
+            summaries: SummaryMode::Cooperative,
+            workload: self.workload.clone(),
+        }
+    }
+}
+
+/// A loaded state directory.
+pub struct CliState {
+    /// The directory backing this state.
+    pub dir: PathBuf,
+    /// The recipe.
+    pub config: StateConfig,
+    /// The rebuilt testbed (corpus, mediator, split, golden; the
+    /// library inside is freshly trained — use [`CliState::library`]
+    /// for the persisted one).
+    pub testbed: Testbed,
+    /// The persisted trained library, when `train` has run.
+    pub trained: Option<EdLibrary>,
+}
+
+/// Errors from state operations.
+#[derive(Debug)]
+pub enum StateError {
+    /// Filesystem problem.
+    Io(std::io::Error),
+    /// Bad JSON.
+    Format(serde_json::Error),
+    /// The state directory has no config (run `generate` first).
+    NotInitialized(PathBuf),
+    /// The state has no trained library (run `train` first).
+    NotTrained(PathBuf),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Io(e) => write!(f, "i/o error: {e}"),
+            StateError::Format(e) => write!(f, "config format error: {e}"),
+            StateError::NotInitialized(p) => {
+                write!(f, "{} has no config.json — run `metaprobe generate` first", p.display())
+            }
+            StateError::NotTrained(p) => {
+                write!(f, "{} has no library.json — run `metaprobe train` first", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StateError {
+    fn from(e: serde_json::Error) -> Self {
+        StateError::Format(e)
+    }
+}
+
+/// Path of the recipe file inside a state directory.
+pub fn config_path(dir: &Path) -> PathBuf {
+    dir.join("config.json")
+}
+
+/// Path of the trained library inside a state directory.
+pub fn library_path(dir: &Path) -> PathBuf {
+    dir.join("library.json")
+}
+
+/// Writes the recipe into `dir` (creating it).
+pub fn save_config(dir: &Path, config: &StateConfig) -> Result<(), StateError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(config_path(dir), serde_json::to_string_pretty(config)?)?;
+    Ok(())
+}
+
+/// Loads the recipe and rebuilds the testbed; loads the trained library
+/// if present.
+pub fn load_state(dir: &Path) -> Result<CliState, StateError> {
+    let cfg_path = config_path(dir);
+    if !cfg_path.exists() {
+        return Err(StateError::NotInitialized(dir.to_path_buf()));
+    }
+    let config: StateConfig = serde_json::from_str(&std::fs::read_to_string(cfg_path)?)?;
+    let testbed = Testbed::build(config.testbed_config());
+    let lib_path = library_path(dir);
+    let trained = if lib_path.exists() {
+        Some(
+            mp_core::load_library(&lib_path)
+                .map_err(|e| StateError::Io(std::io::Error::other(e.to_string())))?,
+        )
+    } else {
+        None
+    };
+    Ok(CliState { dir: dir.to_path_buf(), config, testbed, trained })
+}
+
+impl CliState {
+    /// The persisted library, or an error directing the user to train.
+    pub fn library(&self) -> Result<&EdLibrary, StateError> {
+        self.trained.as_ref().ok_or_else(|| StateError::NotTrained(self.dir.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("metaprobe-cli-state-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_config() -> StateConfig {
+        let mut c = StateConfig::default_for(ScenarioKind::Health, 3, 0.05, 5);
+        c.scenario.topics.n_topics = 6;
+        c.scenario.topics.terms_per_topic = 60;
+        c.scenario.topics.background_terms = 60;
+        c.core = CoreConfig::default().with_threshold(10.0);
+        c.workload.window = 12;
+        c.n_two = 40;
+        c.n_three = 30;
+        c
+    }
+
+    #[test]
+    fn config_roundtrip_and_rebuild() {
+        let dir = tmp_dir("roundtrip");
+        save_config(&dir, &tiny_config()).unwrap();
+        let state = load_state(&dir).unwrap();
+        assert_eq!(state.testbed.n_databases(), 5);
+        assert!(state.trained.is_none());
+        assert!(matches!(state.library(), Err(StateError::NotTrained(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_config_is_reported() {
+        let dir = tmp_dir("missing");
+        match load_state(&dir) {
+            Err(StateError::NotInitialized(_)) => {}
+            other => panic!("expected NotInitialized, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let dir = tmp_dir("determinism");
+        save_config(&dir, &tiny_config()).unwrap();
+        let a = load_state(&dir).unwrap();
+        let b = load_state(&dir).unwrap();
+        assert_eq!(a.testbed.split.test.queries(), b.testbed.split.test.queries());
+        let q = &a.testbed.split.test.queries()[0];
+        assert_eq!(a.testbed.estimates(q), b.testbed.estimates(q));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,88 @@
+//! Central configuration for the probabilistic metasearching machinery.
+
+use mp_stats::BinSpec;
+use serde::{Deserialize, Serialize};
+
+/// Floor applied to estimates before dividing in Eq. 2 and before
+/// deriving RDs: the independence estimator yields 0 whenever any query
+/// term is absent from a summary, and the paper's relative error is
+/// undefined there. See `DESIGN.md` ("r̂ = 0 handling").
+pub const EST_FLOOR: f64 = 0.1;
+
+/// All knobs of the probabilistic relevancy model in one place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// The query-type coverage threshold ladder on the estimated
+    /// relevancy, ascending (paper Section 4.1 uses the single
+    /// threshold θ = 100: queries with `r̂ < 100` behave differently
+    /// from queries with `r̂ ≥ 100`; a ladder of several thresholds
+    /// generalizes the tree — see [`crate::query_type`]).
+    pub coverage_thresholds: Vec<f64>,
+    /// Interior bin edges for error distributions, in relative-error
+    /// units (−1 = −100%). Ten bins by default, matching the paper's
+    /// χ² setup (10 bins, 9 degrees of freedom).
+    pub ed_edges: Vec<f64>,
+    /// Estimate floor for Eq. 2 (see [`EST_FLOOR`]).
+    pub est_floor: f64,
+    /// How many top documents a probe downloads when measuring
+    /// similarity-based relevancy.
+    pub probe_top_n: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            coverage_thresholds: vec![100.0],
+            // Ten bins matching the paper's χ² setup: fine around zero
+            // error, geometric on the unbounded underestimation side
+            // (errors are bounded below by −100% but unbounded above).
+            // (−∞,−0.6), [−0.6,−0.2), [−0.2,0.2), [0.2,0.7), [0.7,1.5),
+            // [1.5,3), [3,6), [6,12), [12,30), [30,∞).
+            ed_edges: vec![-0.6, -0.2, 0.2, 0.7, 1.5, 3.0, 6.0, 12.0, 30.0],
+            est_floor: EST_FLOOR,
+            probe_top_n: 10,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The [`BinSpec`] for error-distribution histograms.
+    pub fn ed_bins(&self) -> BinSpec {
+        BinSpec::new(self.ed_edges.clone())
+    }
+
+    /// A config with a single coverage threshold (ablation A2; the
+    /// paper's published tree shape).
+    pub fn with_threshold(mut self, theta: f64) -> Self {
+        self.coverage_thresholds = vec![theta];
+        self
+    }
+
+    /// A config with a full threshold ladder (ascending).
+    pub fn with_thresholds(mut self, thetas: Vec<f64>) -> Self {
+        assert!(!thetas.is_empty(), "need at least one threshold");
+        assert!(thetas.windows(2).all(|w| w[0] < w[1]), "thresholds must ascend");
+        self.coverage_thresholds = thetas;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_ten_bins() {
+        let c = CoreConfig::default();
+        assert_eq!(c.ed_bins().bin_count(), 10);
+        assert_eq!(c.coverage_thresholds, vec![100.0]);
+    }
+
+    #[test]
+    fn with_threshold_overrides() {
+        let c = CoreConfig::default().with_threshold(50.0);
+        assert_eq!(c.coverage_thresholds, vec![50.0]);
+        let c = CoreConfig::default().with_thresholds(vec![1.0, 10.0]);
+        assert_eq!(c.coverage_thresholds.len(), 2);
+    }
+}

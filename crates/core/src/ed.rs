@@ -1,0 +1,263 @@
+//! Error distributions (EDs) and their training via database sampling
+//! (paper Sections 3.1 and 4).
+
+use crate::config::CoreConfig;
+use crate::error::relative_error;
+use crate::estimator::RelevancyEstimator;
+use crate::query_type::QueryType;
+use crate::relevancy::RelevancyDef;
+use mp_hidden::Mediator;
+use mp_stats::{Discrete, Histogram};
+use mp_workload::Query;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An error distribution: the histogram of relative estimation errors a
+/// given estimator exhibits on one database for one query type
+/// (paper Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorDistribution {
+    hist: Histogram,
+}
+
+impl ErrorDistribution {
+    /// An empty ED over the config's bins.
+    pub fn new(config: &CoreConfig) -> Self {
+        Self { hist: Histogram::new(config.ed_bins()) }
+    }
+
+    /// Records one observed error.
+    pub fn add(&mut self, error: f64) {
+        self.hist.add(error);
+    }
+
+    /// Number of sample queries behind this ED.
+    pub fn samples(&self) -> u64 {
+        self.hist.total()
+    }
+
+    /// The underlying histogram (for χ² goodness testing).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// The ED as a discrete distribution over representative error
+    /// values; `None` when no samples were recorded.
+    pub fn to_discrete(&self) -> Option<Discrete> {
+        self.hist.to_discrete().ok()
+    }
+
+    /// Merges another ED over the same bins.
+    pub fn merge(&mut self, other: &ErrorDistribution) {
+        self.hist.merge(&other.hist);
+    }
+}
+
+/// The learned library of EDs: one per `(database, query type)` leaf.
+///
+/// Built offline from a training trace (the paper draws its sample
+/// queries "randomly chosen from previous query traces", Example 2) and
+/// consulted at query time to turn a point estimate into an RD.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdLibrary {
+    /// `per_db[i]` maps query types to their ED on database `i`.
+    /// Serialized as pair lists: JSON object keys must be strings, and
+    /// [`QueryType`] is a struct.
+    #[serde(with = "qt_map_list")]
+    per_db: Vec<HashMap<QueryType, ErrorDistribution>>,
+    config: CoreConfig,
+}
+
+/// Serde adapter: `Vec<HashMap<QueryType, ED>>` ⇄ `Vec<Vec<(QueryType, ED)>>`,
+/// with deterministic (sorted) pair order for stable output.
+mod qt_map_list {
+    use super::{ErrorDistribution, QueryType};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(
+        maps: &[HashMap<QueryType, ErrorDistribution>],
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let lists: Vec<Vec<(&QueryType, &ErrorDistribution)>> = maps
+            .iter()
+            .map(|m| {
+                let mut pairs: Vec<_> = m.iter().collect();
+                pairs.sort_by_key(|&(qt, _)| *qt);
+                pairs
+            })
+            .collect();
+        lists.serialize(serializer)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<Vec<HashMap<QueryType, ErrorDistribution>>, D::Error> {
+        let lists: Vec<Vec<(QueryType, ErrorDistribution)>> = Vec::deserialize(deserializer)?;
+        Ok(lists.into_iter().map(|l| l.into_iter().collect()).collect())
+    }
+}
+
+impl EdLibrary {
+    /// An empty library for `n_databases` databases.
+    pub fn empty(n_databases: usize, config: CoreConfig) -> Self {
+        Self { per_db: vec![HashMap::new(); n_databases], config }
+    }
+
+    /// Trains EDs by sampling every mediated database with every
+    /// training query (paper Section 4): estimate, probe for the actual
+    /// relevancy, record the Eq. 2 error under the query's type.
+    ///
+    /// Probing here is *offline training cost*, not query-time probing;
+    /// callers usually `mediator.reset_probes()` afterwards.
+    pub fn train(
+        mediator: &Mediator,
+        estimator: &dyn RelevancyEstimator,
+        def: RelevancyDef,
+        queries: &[Query],
+        config: &CoreConfig,
+    ) -> Self {
+        let mut lib = Self::empty(mediator.len(), config.clone());
+        for q in queries {
+            for i in 0..mediator.len() {
+                let est = estimator.estimate(mediator.summary(i), q);
+                let actual = def.probe(mediator.db(i), q, config.probe_top_n);
+                lib.record(i, q.len(), est, actual);
+            }
+        }
+        lib
+    }
+
+    /// Records a single observation for database `i`.
+    pub fn record(&mut self, db: usize, n_terms: usize, estimate: f64, actual: f64) {
+        let qt = QueryType::classify(n_terms, estimate, &self.config.coverage_thresholds);
+        let err = relative_error(actual, estimate, self.config.est_floor);
+        self.per_db[db]
+            .entry(qt)
+            .or_insert_with(|| ErrorDistribution::new(&self.config))
+            .add(err);
+    }
+
+    /// The configuration the library was trained under.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Number of databases covered.
+    pub fn n_databases(&self) -> usize {
+        self.per_db.len()
+    }
+
+    /// The ED for `(db, query type)` if trained.
+    pub fn ed(&self, db: usize, qt: QueryType) -> Option<&ErrorDistribution> {
+        self.per_db[db].get(&qt).filter(|ed| ed.samples() > 0)
+    }
+
+    /// The ED to *use* for a query of type `qt` on `db`: the exact leaf
+    /// when trained, else the first trained fallback
+    /// ([`QueryType::fallbacks`]), else `None` (caller degrades to an
+    /// impulse RD at the estimate).
+    pub fn ed_or_fallback(&self, db: usize, qt: QueryType) -> Option<&ErrorDistribution> {
+        if let Some(ed) = self.ed(db, qt) {
+            return Some(ed);
+        }
+        qt.fallbacks(self.config.coverage_thresholds.len())
+            .into_iter()
+            .find_map(|fb| self.ed(db, fb))
+    }
+
+    /// Classifies a query for database `db` given its estimate there.
+    pub fn classify(&self, n_terms: usize, estimate: f64) -> QueryType {
+        QueryType::classify(n_terms, estimate, &self.config.coverage_thresholds)
+    }
+
+    /// Per-type sample counts for one database (diagnostics / reports).
+    pub fn sample_counts(&self, db: usize) -> Vec<(QueryType, u64)> {
+        let mut v: Vec<(QueryType, u64)> = self.per_db[db]
+            .iter()
+            .map(|(&qt, ed)| (qt, ed.samples()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query_type::ArityBucket;
+
+    fn config() -> CoreConfig {
+        CoreConfig::default()
+    }
+
+    #[test]
+    fn ed_accumulates_and_discretizes() {
+        let mut ed = ErrorDistribution::new(&config());
+        for _ in 0..4 {
+            ed.add(-0.5);
+        }
+        for _ in 0..5 {
+            ed.add(0.0);
+        }
+        ed.add(0.5);
+        assert_eq!(ed.samples(), 10);
+        let d = ed.to_discrete().unwrap();
+        // Paper Figure 4 shape: 0.4 / 0.5 / 0.1.
+        assert!((d.prob_eq(-0.5) - 0.4).abs() < 1e-12);
+        assert!((d.prob_eq(0.0) - 0.5).abs() < 1e-12);
+        assert!((d.prob_eq(0.5) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ed_has_no_discrete() {
+        let ed = ErrorDistribution::new(&config());
+        assert!(ed.to_discrete().is_none());
+        assert_eq!(ed.samples(), 0);
+    }
+
+    #[test]
+    fn library_records_by_type() {
+        let mut lib = EdLibrary::empty(2, config());
+        lib.record(0, 2, 50.0, 100.0); // 2-term, low coverage
+        lib.record(0, 2, 500.0, 250.0); // 2-term, high coverage
+        lib.record(1, 3, 10.0, 0.0); // 3-term, low coverage (db 1)
+
+        let low2 = QueryType { arity: ArityBucket::Two, coverage: 0 };
+        let high2 = QueryType { arity: ArityBucket::Two, coverage: 1 };
+        let low3 = QueryType { arity: ArityBucket::ThreeUp, coverage: 0 };
+
+        assert_eq!(lib.ed(0, low2).unwrap().samples(), 1);
+        assert_eq!(lib.ed(0, high2).unwrap().samples(), 1);
+        assert!(lib.ed(0, low3).is_none());
+        assert_eq!(lib.ed(1, low3).unwrap().samples(), 1);
+        assert!(lib.ed(1, low2).is_none());
+    }
+
+    #[test]
+    fn fallback_chain_finds_sibling() {
+        let mut lib = EdLibrary::empty(1, config());
+        lib.record(0, 2, 500.0, 250.0); // only the high-coverage leaf trained
+        let low2 = QueryType { arity: ArityBucket::Two, coverage: 0 };
+        assert!(lib.ed(0, low2).is_none());
+        assert!(lib.ed_or_fallback(0, low2).is_some());
+    }
+
+    #[test]
+    fn no_training_no_fallback() {
+        let lib = EdLibrary::empty(1, config());
+        let qt = QueryType { arity: ArityBucket::Two, coverage: 0 };
+        assert!(lib.ed_or_fallback(0, qt).is_none());
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = ErrorDistribution::new(&config());
+        a.add(0.0);
+        let mut b = ErrorDistribution::new(&config());
+        b.add(1.5);
+        b.add(1.5);
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+    }
+}

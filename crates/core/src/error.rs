@@ -1,0 +1,110 @@
+//! Estimation-error computation (paper Eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// One observed estimation error on a sample query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorRecord {
+    /// The estimated relevancy `r̂(db, q)` (pre-floor).
+    pub estimate: f64,
+    /// The actual relevancy `r(db, q)` learned by probing.
+    pub actual: f64,
+    /// The relative error per Eq. 2 (with the floored estimate).
+    pub error: f64,
+}
+
+/// The paper's relative error (Eq. 2):
+///
+/// ```text
+/// err(db, q) = ( r(db, q) − r̂(db, q) ) / r̂(db, q)
+/// ```
+///
+/// with the denominator floored at `est_floor` so the error stays
+/// defined when the estimator returns 0 (any query term missing from
+/// the summary). −1 means the estimate was pure overestimation
+/// (actual 0); large positive values mean correlated terms made the
+/// actual relevancy blow past the estimate.
+pub fn relative_error(actual: f64, estimate: f64, est_floor: f64) -> f64 {
+    assert!(actual.is_finite() && estimate.is_finite());
+    assert!(est_floor > 0.0, "est_floor must be positive");
+    let denom = estimate.max(est_floor);
+    (actual - denom) / denom
+}
+
+/// Builds an [`ErrorRecord`].
+pub fn record(actual: f64, estimate: f64, est_floor: f64) -> ErrorRecord {
+    ErrorRecord { estimate, actual, error: relative_error(actual, estimate, est_floor) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_figure3b_example() {
+        // Figure 3(b): estimate 650, actual 1300 → +100% error.
+        // (The paper's text derives (1300 − 650)/650 = 100%.)
+        assert!((relative_error(1300.0, 650.0, 0.1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underestimation_is_negative() {
+        // Figure 3(a): actual 120, estimate 100 → +20%? No: uniform
+        // *underestimation by 10%* means actual = est / 0.9; here test
+        // the simple direction: actual below estimate → negative error.
+        assert!(relative_error(50.0, 100.0, 0.1) < 0.0);
+        assert!((relative_error(50.0, 100.0, 0.1) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_actual_gives_minus_one() {
+        assert!((relative_error(0.0, 200.0, 0.1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_estimate_uses_floor() {
+        // est = 0, actual = 5, floor = 0.1 → (5 − 0.1)/0.1 = 49.
+        assert!((relative_error(5.0, 0.0, 0.1) - 49.0).abs() < 1e-9);
+        // est = 0, actual = 0 → −1? (0 − 0.1)/0.1 = −1.
+        assert!((relative_error(0.0, 0.0, 0.1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_estimate_is_zero_error() {
+        assert_eq!(relative_error(42.0, 42.0, 0.1), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_at_least_minus_one_for_nonneg_actual(
+            actual in 0.0f64..1e6,
+            estimate in 0.0f64..1e6
+        ) {
+            prop_assert!(relative_error(actual, estimate, 0.1) >= -1.0);
+        }
+
+        #[test]
+        fn prop_error_sign_matches_direction(
+            actual in 0.0f64..1e6,
+            estimate in 0.5f64..1e6
+        ) {
+            let e = relative_error(actual, estimate, 0.1);
+            if actual > estimate {
+                prop_assert!(e > 0.0);
+            } else if actual < estimate {
+                prop_assert!(e < 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_roundtrip_recovers_actual(
+            actual in 0.0f64..1e6,
+            estimate in 0.5f64..1e6
+        ) {
+            // RD derivation inverts Eq. 2: actual = est · (1 + err).
+            let e = relative_error(actual, estimate, 0.1);
+            prop_assert!((estimate * (1.0 + e) - actual).abs() < 1e-6);
+        }
+    }
+}

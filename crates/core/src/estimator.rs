@@ -1,0 +1,184 @@
+//! Summary-based relevancy estimators.
+
+use mp_hidden::ContentSummary;
+use mp_workload::Query;
+
+/// A relevancy estimator: predicts `r̂(db, q)` from a locally stored
+/// [`ContentSummary`], without contacting the database.
+pub trait RelevancyEstimator: Send + Sync {
+    /// Short stable name (for reports).
+    fn name(&self) -> &str;
+
+    /// The estimated relevancy `r̂(db, q)`.
+    fn estimate(&self, summary: &ContentSummary, query: &Query) -> f64;
+}
+
+/// The term-independence estimator of paper Eq. 1:
+///
+/// ```text
+/// r̂(db, q) = |db| · Π_{t ∈ q} ( df(db, t) / |db| )
+/// ```
+///
+/// the expected number of documents matching *all* query terms if the
+/// terms were independently distributed — the assumption whose failures
+/// (Section 2.3) the probabilistic relevancy model exists to absorb.
+///
+/// Edge cases: an empty database estimates 0 for every query; a query
+/// term absent from the summary zeroes the product (callers apply the
+/// [`crate::config::EST_FLOOR`] before computing relative errors).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndependenceEstimator;
+
+impl RelevancyEstimator for IndependenceEstimator {
+    fn name(&self) -> &str {
+        "term-independence"
+    }
+
+    fn estimate(&self, summary: &ContentSummary, query: &Query) -> f64 {
+        let n = summary.size() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mut est = n;
+        for &t in query.terms() {
+            est *= summary.df(t) as f64 / n;
+            if est == 0.0 {
+                return 0.0;
+            }
+        }
+        est
+    }
+}
+
+/// A GlOSS-style estimator for the document-similarity relevancy
+/// definition: predicts the best achievable query-document cosine
+/// similarity from summary statistics alone.
+///
+/// The estimate is the similarity the query would have with an *ideal
+/// matching document* — one containing exactly the query's
+/// summary-covered terms once each:
+///
+/// ```text
+/// est = sqrt( Σ_{t ∈ q, df(t) > 0} w_t² )  /  sqrt( Σ_{t ∈ q} w_t² )
+/// ```
+///
+/// with `w_t = ln(1 + |db| / (1 + df(t)))` (the same smoothed idf the
+/// engine uses). The estimate is 1 when every query term occurs in the
+/// database and decays as high-idf terms are missing. Like Eq. 1 it
+/// ignores co-occurrence — no summary can see it — so it exhibits the
+/// same non-uniform error behaviour the probabilistic model corrects.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxSimilarityEstimator;
+
+impl RelevancyEstimator for MaxSimilarityEstimator {
+    fn name(&self) -> &str {
+        "max-similarity"
+    }
+
+    fn estimate(&self, summary: &ContentSummary, query: &Query) -> f64 {
+        let n = summary.size() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mut covered = 0.0;
+        let mut total = 0.0;
+        for &t in query.terms() {
+            let df = summary.df(t) as f64;
+            let w = (1.0 + n / (1.0 + df)).ln();
+            total += w * w;
+            if df > 0.0 {
+                covered += w * w;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            (covered / total).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_text::TermId;
+    use std::collections::HashMap;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn summary(size: u32, dfs: &[(u32, u32)]) -> ContentSummary {
+        let map: HashMap<TermId, u32> = dfs.iter().map(|&(i, d)| (t(i), d)).collect();
+        ContentSummary::new(map, size)
+    }
+
+    #[test]
+    fn paper_example1_db1() {
+        // db1: 20,000 docs; breast in 2,000; cancer in 1,000.
+        // r̂(db1, "breast cancer") = 20000 · (2000/20000) · (1000/20000) = 100.
+        let s = summary(20_000, &[(0, 2_000), (1, 1_000)]);
+        let est = IndependenceEstimator.estimate(&s, &Query::new([t(0), t(1)]));
+        assert!((est - 100.0).abs() < 1e-9, "est={est}");
+    }
+
+    #[test]
+    fn paper_example1_db2() {
+        // db2: 20,000 docs; breast in 2,600; cancer in 5,000 → 650.
+        let s = summary(20_000, &[(0, 2_600), (1, 5_000)]);
+        let est = IndependenceEstimator.estimate(&s, &Query::new([t(0), t(1)]));
+        assert!((est - 650.0).abs() < 1e-9, "est={est}");
+    }
+
+    #[test]
+    fn single_term_estimate_is_df() {
+        let s = summary(1_000, &[(0, 42)]);
+        let est = IndependenceEstimator.estimate(&s, &Query::new([t(0)]));
+        assert!((est - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_term_zeroes_estimate() {
+        let s = summary(1_000, &[(0, 500)]);
+        let est = IndependenceEstimator.estimate(&s, &Query::new([t(0), t(9)]));
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn empty_database_estimates_zero() {
+        let s = summary(0, &[]);
+        assert_eq!(IndependenceEstimator.estimate(&s, &Query::new([t(0)])), 0.0);
+        assert_eq!(MaxSimilarityEstimator.estimate(&s, &Query::new([t(0)])), 0.0);
+    }
+
+    #[test]
+    fn estimate_never_exceeds_min_df() {
+        // Π df_i/n × n ≤ min df (each extra factor ≤ 1).
+        let s = summary(100, &[(0, 60), (1, 10)]);
+        let est = IndependenceEstimator.estimate(&s, &Query::new([t(0), t(1)]));
+        assert!(est <= 10.0 + 1e-12);
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn max_similarity_full_coverage_is_one() {
+        let s = summary(100, &[(0, 5), (1, 30)]);
+        let est = MaxSimilarityEstimator.estimate(&s, &Query::new([t(0), t(1)]));
+        assert!((est - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_similarity_decays_with_missing_rare_terms() {
+        let s = summary(100, &[(0, 90)]); // t1 missing entirely
+        let est = MaxSimilarityEstimator.estimate(&s, &Query::new([t(0), t(1)]));
+        assert!(est > 0.0 && est < 0.7, "est={est}");
+        // Missing a *rare* (high-idf) term hurts more than it would to
+        // miss a common one, so est is well below 1.
+    }
+
+    #[test]
+    fn estimator_names() {
+        assert_eq!(IndependenceEstimator.name(), "term-independence");
+        assert_eq!(MaxSimilarityEstimator.name(), "max-similarity");
+    }
+}

@@ -1,0 +1,202 @@
+//! Persistence of trained models.
+//!
+//! Training an ED library probes every mediated database with every
+//! training query — expensive against real Hidden-Web sites. A
+//! metasearcher therefore trains offline, persists the library, and
+//! loads it at serving time (the paper's framework implicitly assumes
+//! exactly this split: Section 4 samples the databases "before we
+//! accept user queries").
+//!
+//! Libraries serialize to a versioned JSON envelope so future format
+//! changes fail loudly instead of deserializing garbage.
+
+use crate::ed::EdLibrary;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current persistence format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(serde_json::Error),
+    /// The envelope's version is not supported by this build.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build writes/reads.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(e) => write!(f, "format error: {e}"),
+            PersistError::Version { found, supported } => {
+                write!(f, "unsupported library version {found} (this build reads {supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+            PersistError::Version { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// The on-disk envelope.
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    version: u32,
+    library: EdLibrary,
+}
+
+/// Serializes a trained library to a JSON string.
+pub fn library_to_json(library: &EdLibrary) -> Result<String, PersistError> {
+    Ok(serde_json::to_string(&Envelope {
+        version: FORMAT_VERSION,
+        library: library.clone(),
+    })?)
+}
+
+/// Deserializes a library from its JSON envelope.
+pub fn library_from_json(json: &str) -> Result<EdLibrary, PersistError> {
+    let envelope: Envelope = serde_json::from_str(json)?;
+    if envelope.version != FORMAT_VERSION {
+        return Err(PersistError::Version {
+            found: envelope.version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(envelope.library)
+}
+
+/// Writes a trained library to `path`.
+pub fn save_library(library: &EdLibrary, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    std::fs::write(path, library_to_json(library)?)?;
+    Ok(())
+}
+
+/// Loads a trained library from `path`.
+pub fn load_library(path: impl AsRef<Path>) -> Result<EdLibrary, PersistError> {
+    library_from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::query_type::{ArityBucket, QueryType};
+
+    fn trained_library() -> EdLibrary {
+        let mut lib = EdLibrary::empty(3, CoreConfig::default().with_threshold(5.0));
+        lib.record(0, 2, 50.0, 100.0);
+        lib.record(0, 2, 2.0, 0.0);
+        lib.record(1, 3, 10.0, 40.0);
+        lib.record(2, 2, 8.0, 8.0);
+        lib
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let lib = trained_library();
+        let json = library_to_json(&lib).unwrap();
+        let back = library_from_json(&json).unwrap();
+        assert_eq!(back.n_databases(), 3);
+        assert_eq!(back.config(), lib.config());
+        for db in 0..3 {
+            assert_eq!(back.sample_counts(db), lib.sample_counts(db));
+            for qt in QueryType::all(1) {
+                match (lib.ed(db, qt), back.ed(db, qt)) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.histogram().counts(), b.histogram().counts());
+                        assert_eq!(a.to_discrete(), b.to_discrete());
+                    }
+                    (None, None) => {}
+                    other => panic!("mismatch at db {db} {qt}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let lib = trained_library();
+        let dir = std::env::temp_dir().join("metaprobe-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("library.json");
+        save_library(&lib, &path).unwrap();
+        let back = load_library(&path).unwrap();
+        assert_eq!(back.n_databases(), lib.n_databases());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let lib = trained_library();
+        let json = library_to_json(&lib).unwrap();
+        let bumped = json.replacen("\"version\":1", "\"version\":99", 1);
+        match library_from_json(&bumped) {
+            Err(PersistError::Version { found: 99, supported: 1 }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_format_error() {
+        assert!(matches!(
+            library_from_json("not json at all"),
+            Err(PersistError::Format(_))
+        ));
+        assert!(matches!(
+            library_from_json("{\"version\":1}"),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_library("/nonexistent/metaprobe/library.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn loaded_library_classifies_like_the_original() {
+        let lib = trained_library();
+        let back = library_from_json(&library_to_json(&lib).unwrap()).unwrap();
+        for (n_terms, est) in [(2usize, 3.0f64), (2, 50.0), (3, 0.2)] {
+            assert_eq!(lib.classify(n_terms, est), back.classify(n_terms, est));
+        }
+        // And derives identical RDs through the public path.
+        let qt = QueryType { arity: ArityBucket::Two, coverage: 1 };
+        assert_eq!(
+            lib.ed_or_fallback(0, qt).map(|e| e.to_discrete()),
+            back.ed_or_fallback(0, qt).map(|e| e.to_discrete())
+        );
+    }
+}

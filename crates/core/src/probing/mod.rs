@@ -1,0 +1,28 @@
+//! Adaptive probing: the `APro` algorithm and its probing policies
+//! (paper Section 5).
+//!
+//! `APro` (Figure 11) starts from the RD-based selection; while no
+//! candidate set reaches the user-required certainty `t`, it probes one
+//! more database — turning that database's RD into an impulse — and
+//! re-evaluates. The *policy* decides which database to probe:
+//!
+//! | policy | paper role |
+//! |---|---|
+//! | [`GreedyPolicy`] | the paper's contribution (Section 5.4): probe the database with the highest expected usefulness |
+//! | [`RandomPolicy`] | naive baseline |
+//! | [`ByEstimatePolicy`] | "probe the seemingly most relevant first" heuristic |
+//! | [`UncertaintyPolicy`] | "probe the most uncertain RD" heuristic |
+//! | [`OptimalPolicy`] | the exhaustive expectimax optimum the paper calls `O(n!)` and impractical — implemented for small `n` as a yardstick |
+//! | [`CostAwareGreedyPolicy`] | the paper's Section 5.2 extension: greedy per unit probe cost ([`cost`]) |
+
+pub mod apro;
+pub mod cost;
+pub mod greedy;
+pub mod optimal;
+pub mod policy;
+
+pub use apro::{apro, AproConfig, AproOutcome, ProbeRecord};
+pub use cost::{apro_with_costs, CostAwareGreedyPolicy, ProbeCosts};
+pub use greedy::GreedyPolicy;
+pub use optimal::OptimalPolicy;
+pub use policy::{ByEstimatePolicy, ProbePolicy, RandomPolicy, UncertaintyPolicy};

@@ -1,0 +1,157 @@
+//! The probing-policy trait and the simple comparison policies.
+
+use crate::correctness::CorrectnessMetric;
+use crate::expected::RdState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses which database `APro` probes next (paper Figure 11, step (6):
+/// `SelectDb`).
+pub trait ProbePolicy: Send {
+    /// Stable policy name for reports.
+    fn name(&self) -> &str;
+
+    /// The next database to probe, or `None` when every database is
+    /// already probed. `k` and `metric` describe the selection task the
+    /// certainty is measured against.
+    fn select_db(&mut self, state: &RdState, k: usize, metric: CorrectnessMetric)
+        -> Option<usize>;
+}
+
+/// Uniformly random choice among unprobed databases — the naive
+/// baseline a useful policy must beat.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with a seed (deterministic experiments).
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl ProbePolicy for RandomPolicy {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn select_db(&mut self, state: &RdState, _k: usize, _m: CorrectnessMetric) -> Option<usize> {
+        let unprobed = state.unprobed();
+        if unprobed.is_empty() {
+            None
+        } else {
+            Some(unprobed[self.rng.gen_range(0..unprobed.len())])
+        }
+    }
+}
+
+/// Probes the unprobed database whose RD has the highest mean — i.e.
+/// the database that currently *looks* most relevant. The natural
+/// "verify the leader" heuristic.
+#[derive(Debug, Default)]
+pub struct ByEstimatePolicy;
+
+impl ProbePolicy for ByEstimatePolicy {
+    fn name(&self) -> &str {
+        "by-estimate"
+    }
+
+    fn select_db(&mut self, state: &RdState, _k: usize, _m: CorrectnessMetric) -> Option<usize> {
+        state
+            .unprobed()
+            .into_iter()
+            .max_by(|&a, &b| {
+                state.rds()[a]
+                    .mean()
+                    .partial_cmp(&state.rds()[b].mean())
+                    .expect("finite means")
+                    .then(b.cmp(&a)) // tie → lower index
+            })
+    }
+}
+
+/// Probes the unprobed database with the highest RD variance — i.e. the
+/// database whose relevancy we know least about.
+#[derive(Debug, Default)]
+pub struct UncertaintyPolicy;
+
+impl ProbePolicy for UncertaintyPolicy {
+    fn name(&self) -> &str {
+        "max-uncertainty"
+    }
+
+    fn select_db(&mut self, state: &RdState, _k: usize, _m: CorrectnessMetric) -> Option<usize> {
+        state
+            .unprobed()
+            .into_iter()
+            .max_by(|&a, &b| {
+                state.rds()[a]
+                    .variance()
+                    .partial_cmp(&state.rds()[b].variance())
+                    .expect("finite variances")
+                    .then(b.cmp(&a))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_stats::Discrete;
+
+    fn d(pairs: &[(f64, f64)]) -> Discrete {
+        Discrete::from_weighted(pairs).unwrap()
+    }
+
+    fn state() -> RdState {
+        RdState::new(vec![
+            d(&[(10.0, 1.0)]),                   // mean 10, var 0
+            d(&[(0.0, 0.5), (40.0, 0.5)]),       // mean 20, var 400
+            d(&[(29.0, 0.5), (31.0, 0.5)]),      // mean 30, var 1
+        ])
+    }
+
+    #[test]
+    fn by_estimate_picks_highest_mean() {
+        let mut p = ByEstimatePolicy;
+        assert_eq!(p.select_db(&state(), 1, CorrectnessMetric::Absolute), Some(2));
+    }
+
+    #[test]
+    fn uncertainty_picks_highest_variance() {
+        let mut p = UncertaintyPolicy;
+        assert_eq!(p.select_db(&state(), 1, CorrectnessMetric::Absolute), Some(1));
+    }
+
+    #[test]
+    fn random_picks_only_unprobed() {
+        let mut s = state();
+        s.probe(1, 40.0);
+        s.probe(2, 29.0);
+        let mut p = RandomPolicy::new(0);
+        for _ in 0..10 {
+            assert_eq!(p.select_db(&s, 1, CorrectnessMetric::Absolute), Some(0));
+        }
+        s.probe(0, 10.0);
+        assert_eq!(p.select_db(&s, 1, CorrectnessMetric::Absolute), None);
+    }
+
+    #[test]
+    fn policies_skip_probed_databases() {
+        let mut s = state();
+        s.probe(2, 31.0); // highest mean now probed
+        let mut p = ByEstimatePolicy;
+        // Impulse at 31 is probed; among unprobed {0, 1}, db1 has the
+        // higher mean.
+        assert_eq!(p.select_db(&s, 1, CorrectnessMetric::Absolute), Some(1));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(RandomPolicy::new(0).name(), "random");
+        assert_eq!(ByEstimatePolicy.name(), "by-estimate");
+        assert_eq!(UncertaintyPolicy.name(), "max-uncertainty");
+    }
+}

@@ -1,0 +1,249 @@
+//! Database selection methods: the estimation baseline and the
+//! RD-based method (paper Sections 2.2 and 3.3).
+
+use crate::correctness::CorrectnessMetric;
+use crate::expected::{expected_correctness, marginal_topk_prob};
+use mp_stats::Discrete;
+
+/// Baseline selection: rank databases by point estimate, descending,
+/// ties to the lower index — exactly what summary-based metasearchers
+/// do without a probabilistic model (paper Section 2.2).
+pub fn baseline_select(estimates: &[f64], k: usize) -> Vec<usize> {
+    assert!(k >= 1 && k <= estimates.len(), "k out of range");
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    order.sort_by(|&a, &b| {
+        estimates[b]
+            .partial_cmp(&estimates[a])
+            .expect("estimates are finite")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+/// Finds the k-subset maximizing the expected correctness, returning
+/// `(set, E[Cor(set)])` (paper Section 3.3: "returns the DBk that has
+/// the highest certainty").
+///
+/// * **Partial metric** — the exact optimum: `E[Cor_p]` is `(1/k) Σ`
+///   of per-database marginal top-k probabilities, so the best set is
+///   the k databases with the largest marginals.
+/// * **Absolute metric** — seeded with the marginal ranking, then
+///   improved by first-improvement swap local search. With unimodal
+///   RD overlap structures (ours, and the paper's) the marginal ranking
+///   is already optimal in practice; the local search guards the rest.
+pub fn best_set(rds: &[Discrete], k: usize, metric: CorrectnessMetric) -> (Vec<usize>, f64) {
+    assert!(k >= 1 && k <= rds.len(), "k out of range");
+    let mut marginals: Vec<(usize, f64)> = (0..rds.len())
+        .map(|i| (i, marginal_topk_prob(rds, i, k)))
+        .collect();
+    marginals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    let mut set: Vec<usize> = marginals[..k].iter().map(|&(i, _)| i).collect();
+    set.sort_unstable();
+
+    // k = 1 short-circuit: Cor_a and Cor_p coincide (paper Section 3.2
+    // footnote), and the best single database is exactly the marginal
+    // argmax — its marginal *is* its expected correctness. This is the
+    // hot case inside the greedy policy's usefulness evaluation.
+    if k == 1 {
+        return (set, marginals[0].1);
+    }
+
+    match metric {
+        CorrectnessMetric::Partial => {
+            let score = expected_correctness(rds, &set, metric);
+            (set, score)
+        }
+        CorrectnessMetric::Absolute => {
+            let mut score = expected_correctness(rds, &set, metric);
+            // First-improvement swap local search.
+            let mut improved = true;
+            while improved {
+                improved = false;
+                'outer: for pos in 0..set.len() {
+                    for cand in 0..rds.len() {
+                        if set.contains(&cand) {
+                            continue;
+                        }
+                        let mut trial = set.clone();
+                        trial[pos] = cand;
+                        trial.sort_unstable();
+                        let s = expected_correctness(rds, &trial, metric);
+                        if s > score + 1e-12 {
+                            set = trial;
+                            score = s;
+                            improved = true;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            (set, score)
+        }
+    }
+}
+
+/// RD-based selection (paper Section 3.3): the set with the highest
+/// expected correctness, no probing involved.
+pub fn rd_based_select(rds: &[Discrete], k: usize, metric: CorrectnessMetric) -> Vec<usize> {
+    best_set(rds, k, metric).0
+}
+
+/// The *score* of the marginal-ranking candidate set, without the
+/// absolute-metric local search — a fast, tight lower bound on
+/// [`best_set`]'s score (and exactly equal for `k = 1` and the partial
+/// metric). The greedy probing policy evaluates thousands of
+/// hypothetical states per probe; it uses this instead of the full
+/// search, which only ever changes *which database gets probed*, never
+/// the correctness semantics of the returned answer.
+pub fn best_set_score_quick(rds: &[Discrete], k: usize, metric: CorrectnessMetric) -> f64 {
+    assert!(k >= 1 && k <= rds.len(), "k out of range");
+    let mut marginals: Vec<(usize, f64)> = (0..rds.len())
+        .map(|i| (i, marginal_topk_prob(rds, i, k)))
+        .collect();
+    marginals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    match metric {
+        // Partial: E[Cor_p] is the mean of the chosen marginals.
+        CorrectnessMetric::Partial => {
+            marginals[..k].iter().map(|&(_, m)| m).sum::<f64>() / k as f64
+        }
+        CorrectnessMetric::Absolute if k == 1 => marginals[0].1,
+        CorrectnessMetric::Absolute => {
+            let set: Vec<usize> = marginals[..k].iter().map(|&(i, _)| i).collect();
+            expected_correctness(rds, &set, metric)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(pairs: &[(f64, f64)]) -> Discrete {
+        Discrete::from_weighted(pairs).unwrap()
+    }
+
+    fn paper_rds() -> Vec<Discrete> {
+        vec![
+            d(&[(50.0, 0.4), (100.0, 0.5), (150.0, 0.1)]),
+            d(&[(65.0, 0.1), (130.0, 0.9)]),
+        ]
+    }
+
+    #[test]
+    fn baseline_ranks_by_estimate() {
+        assert_eq!(baseline_select(&[10.0, 50.0, 30.0], 2), vec![1, 2]);
+        assert_eq!(baseline_select(&[5.0, 5.0, 1.0], 1), vec![0]); // tie → lower idx
+    }
+
+    #[test]
+    fn paper_example4_rd_beats_baseline() {
+        // Estimates: db1 = 100, db2 = 65 → baseline selects db1.
+        assert_eq!(baseline_select(&[100.0, 65.0], 1), vec![0]);
+        // RD-based selection sees db2's consistent underestimation and
+        // selects db2 with certainty 0.85 (the paper's headline example).
+        let (set, score) = best_set(&paper_rds(), 1, CorrectnessMetric::Absolute);
+        assert_eq!(set, vec![1]);
+        assert!((score - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_best_set_takes_top_marginals() {
+        let rds = vec![
+            d(&[(100.0, 1.0)]),
+            d(&[(10.0, 1.0)]),
+            d(&[(50.0, 0.5), (120.0, 0.5)]),
+        ];
+        let (set, score) = best_set(&rds, 2, CorrectnessMetric::Partial);
+        assert_eq!(set, vec![0, 2]);
+        assert_eq!(score, 1.0); // dbs 0 and 2 are always the top two
+    }
+
+    #[test]
+    fn impulse_rds_reduce_to_exact_ranking() {
+        let rds = vec![
+            Discrete::impulse(5.0),
+            Discrete::impulse(50.0),
+            Discrete::impulse(20.0),
+        ];
+        for metric in [CorrectnessMetric::Absolute, CorrectnessMetric::Partial] {
+            let (set, score) = best_set(&rds, 2, metric);
+            assert_eq!(set, vec![1, 2]);
+            assert_eq!(score, 1.0);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_selects_everything() {
+        let rds = paper_rds();
+        let (set, score) = best_set(&rds, 2, CorrectnessMetric::Absolute);
+        assert_eq!(set, vec![0, 1]);
+        assert_eq!(score, 1.0);
+    }
+
+    /// Exhaustive oracle over all k-subsets.
+    fn brute_best(rds: &[Discrete], k: usize, metric: CorrectnessMetric) -> f64 {
+        fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+            let mut out = Vec::new();
+            let mut cur = Vec::new();
+            fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+                if cur.len() == k {
+                    out.push(cur.clone());
+                    return;
+                }
+                for i in start..n {
+                    cur.push(i);
+                    rec(i + 1, n, k, cur, out);
+                    cur.pop();
+                }
+            }
+            rec(0, n, k, &mut cur, &mut out);
+            out
+        }
+        subsets(rds.len(), k)
+            .into_iter()
+            .map(|s| crate::expected::expected_correctness(rds, &s, metric))
+            .fold(0.0, f64::max)
+    }
+
+    fn arb_rds() -> impl Strategy<Value = Vec<Discrete>> {
+        proptest::collection::vec(
+            proptest::collection::vec((0.0f64..40.0, 0.05f64..1.0), 1..4),
+            2..6,
+        )
+        .prop_map(|dbs| {
+            dbs.into_iter()
+                .map(|pts| Discrete::from_weighted(&pts).unwrap())
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_best_set_matches_exhaustive(
+            rds in arb_rds(),
+            k_raw in 1usize..4
+        ) {
+            let k = k_raw.min(rds.len());
+            for metric in [CorrectnessMetric::Absolute, CorrectnessMetric::Partial] {
+                let (_, score) = best_set(&rds, k, metric);
+                let oracle = brute_best(&rds, k, metric);
+                prop_assert!((score - oracle).abs() < 1e-9,
+                    "{:?}: got {}, oracle {}", metric, score, oracle);
+            }
+        }
+
+        #[test]
+        fn prop_selected_set_is_valid(rds in arb_rds(), k_raw in 1usize..4) {
+            let k = k_raw.min(rds.len());
+            let set = rd_based_select(&rds, k, CorrectnessMetric::Partial);
+            prop_assert_eq!(set.len(), k);
+            let distinct: std::collections::HashSet<_> = set.iter().collect();
+            prop_assert_eq!(distinct.len(), k);
+            prop_assert!(set.iter().all(|&i| i < rds.len()));
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 15 (table) — RD-based selection vs the term-independence
+//! baseline, no probing (paper Section 6.2).
+
+use crate::report::{fmt3, TextTable};
+use crate::runner::{evaluate_baseline, evaluate_rd_based, MethodScores};
+use crate::testbed::Testbed;
+use serde::{Deserialize, Serialize};
+
+/// The Figure 15 table contents.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig15Result {
+    /// Baseline scores at k = 1.
+    pub baseline_k1: MethodScores,
+    /// RD-based scores at k = 1.
+    pub rd_k1: MethodScores,
+    /// Baseline scores at k = 3.
+    pub baseline_k3: MethodScores,
+    /// RD-based scores at k = 3.
+    pub rd_k3: MethodScores,
+}
+
+impl Fig15Result {
+    /// Relative improvement of RD-based over the baseline on
+    /// `Avg(Cor_a)` at k = 1 — the paper reports 38.2% on its testbed.
+    pub fn k1_relative_improvement(&self) -> f64 {
+        if self.baseline_k1.avg_cor_a == 0.0 {
+            return 0.0;
+        }
+        (self.rd_k1.avg_cor_a - self.baseline_k1.avg_cor_a) / self.baseline_k1.avg_cor_a
+    }
+}
+
+/// Runs the comparison on a built testbed.
+pub fn run_fig15(tb: &Testbed) -> Fig15Result {
+    Fig15Result {
+        baseline_k1: evaluate_baseline(tb, 1),
+        rd_k1: evaluate_rd_based(tb, 1),
+        baseline_k3: evaluate_baseline(tb, 3),
+        rd_k3: evaluate_rd_based(tb, 3),
+    }
+}
+
+/// Renders the Figure 15 table.
+pub fn render_fig15(r: &Fig15Result) -> String {
+    let mut table = TextTable::new(
+        "Fig. 15 — RD-based database selection vs. the term-independence estimator",
+        &[
+            "method",
+            "k=1 Avg(Cor)",
+            "k=3 Avg(Cor_a)",
+            "k=3 Avg(Cor_p)",
+        ],
+    );
+    let pm = |v: f64, se: f64| format!("{} ±{:.3}", fmt3(v), se);
+    table.row(&[
+        "term-independence (baseline)".into(),
+        pm(r.baseline_k1.avg_cor_a, r.baseline_k1.se_cor_a),
+        pm(r.baseline_k3.avg_cor_a, r.baseline_k3.se_cor_a),
+        pm(r.baseline_k3.avg_cor_p, r.baseline_k3.se_cor_p),
+    ]);
+    table.row(&[
+        "RD-based, no probing".into(),
+        pm(r.rd_k1.avg_cor_a, r.rd_k1.se_cor_a),
+        pm(r.rd_k3.avg_cor_a, r.rd_k3.se_cor_a),
+        pm(r.rd_k3.avg_cor_p, r.rd_k3.se_cor_p),
+    ]);
+    let mut s = table.render();
+    s.push_str(&format!(
+        "k=1 relative improvement: {:+.1}% (paper: +38.2% on its testbed)\n",
+        r.k1_relative_improvement() * 100.0
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedConfig;
+
+    #[test]
+    fn rd_based_improves_on_baseline() {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let r = run_fig15(&tb);
+        // The headline result must reproduce in shape: RD-based beats
+        // the baseline at k = 1 (strictly), and stays within statistical
+        // noise of it on the k = 3 columns at this tiny scale (the
+        // full-scale repro run shows clear k = 3 wins; see
+        // EXPERIMENTS.md).
+        assert!(r.rd_k1.avg_cor_a > r.baseline_k1.avg_cor_a, "{r:?}");
+        assert!(r.rd_k3.avg_cor_p + 0.05 >= r.baseline_k3.avg_cor_p, "{r:?}");
+        assert!(r.k1_relative_improvement() > 0.0);
+    }
+
+    #[test]
+    fn k1_metrics_coincide() {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let r = run_fig15(&tb);
+        assert!((r.baseline_k1.avg_cor_a - r.baseline_k1.avg_cor_p).abs() < 1e-12);
+        assert!((r.rd_k1.avg_cor_a - r.rd_k1.avg_cor_p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders() {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let s = render_fig15(&run_fig15(&tb));
+        assert!(s.contains("RD-based"));
+        assert!(s.contains("relative improvement"));
+    }
+}

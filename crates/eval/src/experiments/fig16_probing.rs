@@ -1,0 +1,134 @@
+//! Figure 16 — average correctness vs. number of probes
+//! (paper Section 6.3): three panels — (a) k = 1, (b) k = 3 absolute,
+//! (c) k = 3 partial — each showing the greedy-APro curve against the
+//! constant term-independence baseline.
+
+use crate::report::{fmt3, TextTable};
+use crate::runner::{evaluate_baseline, probing_curve};
+use crate::testbed::Testbed;
+use mp_core::probing::GreedyPolicy;
+use mp_core::CorrectnessMetric;
+use serde::{Deserialize, Serialize};
+
+/// One panel of Figure 16.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16Panel {
+    /// Panel label (e.g. "k=1").
+    pub label: String,
+    /// `k` for this panel.
+    pub k: usize,
+    /// Metric for this panel.
+    pub metric: CorrectnessMetric,
+    /// `curve[p]` = average correctness after `p` probes (greedy APro).
+    pub curve: Vec<f64>,
+    /// The constant baseline correctness.
+    pub baseline: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16Result {
+    /// Panels (a), (b), (c).
+    pub panels: Vec<Fig16Panel>,
+    /// Probes axis upper bound.
+    pub max_probes: usize,
+}
+
+/// Runs the three panels with the greedy policy.
+pub fn run_fig16(tb: &Testbed, max_probes: usize) -> Fig16Result {
+    let max_probes = max_probes.min(tb.n_databases());
+    let specs = [
+        ("k=1", 1usize, CorrectnessMetric::Absolute),
+        ("k=3 absolute", 3, CorrectnessMetric::Absolute),
+        ("k=3 partial", 3, CorrectnessMetric::Partial),
+    ];
+    let panels = specs
+        .iter()
+        .map(|&(label, k, metric)| {
+            let curve = probing_curve(tb, k, metric, max_probes, |_| Box::new(GreedyPolicy));
+            let base = evaluate_baseline(tb, k);
+            let baseline = match metric {
+                CorrectnessMetric::Absolute => base.avg_cor_a,
+                CorrectnessMetric::Partial => base.avg_cor_p,
+            };
+            Fig16Panel { label: label.to_string(), k, metric, curve, baseline }
+        })
+        .collect();
+    Fig16Result { panels, max_probes }
+}
+
+/// Renders the three panels as one table: rows = #probes.
+pub fn render_fig16(r: &Fig16Result) -> String {
+    let mut headers = vec!["#probes".to_string()];
+    for p in &r.panels {
+        headers.push(format!("APro {}", p.label));
+        headers.push(format!("baseline {}", p.label));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(
+        "Fig. 16 — average correctness after each probing (greedy APro vs constant baseline)",
+        &header_refs,
+    );
+    for probes in 0..=r.max_probes {
+        let mut row = vec![probes.to_string()];
+        for p in &r.panels {
+            row.push(fmt3(p.curve[probes]));
+            row.push(fmt3(p.baseline));
+        }
+        table.row(&row);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedConfig;
+
+    fn result() -> Fig16Result {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        run_fig16(&tb, 5)
+    }
+
+    #[test]
+    fn three_panels_with_full_curves() {
+        let r = result();
+        assert_eq!(r.panels.len(), 3);
+        for p in &r.panels {
+            assert_eq!(p.curve.len(), r.max_probes + 1);
+            for &c in &p.curve {
+                assert!((0.0..=1.0 + 1e-9).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probe_point_matches_rd_based_and_curve_beats_baseline() {
+        let r = result();
+        for p in &r.panels {
+            // Probing must not end below the no-probing start.
+            assert!(
+                p.curve[r.max_probes] + 1e-9 >= p.curve[0],
+                "{}: {:?}",
+                p.label,
+                p.curve
+            );
+            // APro may halt early when *model* certainty hits 1, so the
+            // end point approaches (not necessarily equals) 1.
+            assert!(p.curve[r.max_probes] > 0.9, "{}: {:?}", p.label, p.curve);
+            // The paper's claim: the curve dominates the baseline.
+            assert!(
+                p.curve[r.max_probes] >= p.baseline,
+                "{}: end below baseline",
+                p.label
+            );
+        }
+    }
+
+    #[test]
+    fn renders_rows_per_probe_count() {
+        let r = result();
+        let s = render_fig16(&r);
+        assert_eq!(s.lines().count(), 3 + r.max_probes + 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 17 — probes needed per user-required certainty threshold
+//! (paper Section 6.4): `t ∈ {0.70, 0.75, 0.80, 0.85, 0.90, 0.95}`.
+
+use crate::report::{fmt2, fmt3, TextTable};
+use crate::runner::{threshold_run, ThresholdOutcome};
+use crate::testbed::Testbed;
+use mp_core::probing::GreedyPolicy;
+use mp_core::CorrectnessMetric;
+use serde::{Deserialize, Serialize};
+
+/// The thresholds the paper evaluates.
+pub const PAPER_THRESHOLDS: [f64; 6] = [0.70, 0.75, 0.80, 0.85, 0.90, 0.95];
+
+/// The Figure 17 data: one row per threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig17Result {
+    /// `k` the selections were made at.
+    pub k: usize,
+    /// The metric certainty was measured under.
+    pub metric: CorrectnessMetric,
+    /// Outcomes per threshold, ascending.
+    pub rows: Vec<ThresholdOutcome>,
+}
+
+/// Runs APro (greedy policy) at every paper threshold.
+pub fn run_fig17(tb: &Testbed, k: usize, metric: CorrectnessMetric) -> Fig17Result {
+    let rows = PAPER_THRESHOLDS
+        .iter()
+        .map(|&t| threshold_run(tb, k, metric, t, |_| Box::new(GreedyPolicy)))
+        .collect();
+    Fig17Result { k, metric, rows }
+}
+
+/// Renders the threshold table.
+pub fn render_fig17(r: &Fig17Result) -> String {
+    let mut table = TextTable::new(
+        format!(
+            "Fig. 17 — probes used by APro per certainty threshold (k={}, {} metric)",
+            r.k, r.metric
+        ),
+        &["t", "avg #probes", "avg correctness", "satisfied"],
+    );
+    for row in &r.rows {
+        table.row(&[
+            format!("{:.2}", row.threshold),
+            fmt2(row.avg_probes),
+            fmt3(row.avg_correctness),
+            fmt3(row.satisfied_rate),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedConfig;
+
+    #[test]
+    fn probes_grow_with_threshold_and_correctness_tracks_t() {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let r = run_fig17(&tb, 1, CorrectnessMetric::Absolute);
+        assert_eq!(r.rows.len(), 6);
+        // The paper's finding: the probe count is non-decreasing in t.
+        for w in r.rows.windows(2) {
+            assert!(
+                w[1].avg_probes + 1e-9 >= w[0].avg_probes,
+                "probes dropped: {:?}",
+                r.rows
+            );
+        }
+        // Thresholds are always reachable (probing everything gives 1).
+        for row in &r.rows {
+            assert_eq!(row.satisfied_rate, 1.0, "{row:?}");
+            // Realized average correctness should be in the vicinity of
+            // (or above) the promised certainty.
+            assert!(
+                row.avg_correctness >= row.threshold - 0.15,
+                "correctness {} far below promised {}",
+                row.avg_correctness,
+                row.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn renders_six_rows() {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let s = render_fig17(&run_fig17(&tb, 1, CorrectnessMetric::Absolute));
+        assert_eq!(s.lines().count(), 3 + 6);
+        assert!(s.contains("0.95"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 8 — average χ² goodness per sampling size, over all databases.
+//!
+//! The data is computed by the Figure 7 study
+//! ([`super::fig7_sampling::run_sampling_study`]); this module renders
+//! the one-row summary table the paper prints, with the paper's two
+//! observations annotated: every size clears the 0.5 acceptance line,
+//! and goodness grows slowly with the sample size — which is why the
+//! paper settles on ~500 sample queries per type.
+
+use super::fig7_sampling::SamplingStudyResult;
+use crate::report::{fmt3, TextTable};
+
+/// Renders the Fig. 8 average-goodness table.
+pub fn render_fig8(result: &SamplingStudyResult) -> String {
+    let headers: Vec<String> = result.sizes.iter().map(|s| format!("S={s}")).collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(
+        "Fig. 8 — average goodness of each sampling size (over all databases)",
+        &header_refs,
+    );
+    let row: Vec<String> = result.avg_goodness.iter().map(|&g| fmt3(g)).collect();
+    table.row(&row);
+    table.render()
+}
+
+/// The size the study recommends: the smallest size whose goodness is
+/// within `tolerance` of the best observed (the paper conservatively
+/// picks 500 out of a near-flat curve).
+pub fn recommended_size(result: &SamplingStudyResult, tolerance: f64) -> usize {
+    let best = result
+        .avg_goodness
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    for (i, &g) in result.avg_goodness.iter().enumerate() {
+        if g >= best - tolerance {
+            return result.sizes[i];
+        }
+    }
+    *result.sizes.last().expect("sizes non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig7_sampling::{run_sampling_study, SamplingStudyConfig};
+
+    #[test]
+    fn renders_single_average_row() {
+        let result = run_sampling_study(&SamplingStudyConfig::tiny(2));
+        let s = render_fig8(&result);
+        assert_eq!(s.lines().count(), 4); // title, header, rule, one row
+        assert!(s.contains("S=30"));
+    }
+
+    #[test]
+    fn recommended_size_is_one_of_the_sizes() {
+        let result = run_sampling_study(&SamplingStudyConfig::tiny(2));
+        let rec = recommended_size(&result, 0.1);
+        assert!(result.sizes.contains(&rec));
+    }
+
+    #[test]
+    fn zero_tolerance_picks_argmax() {
+        let result = SamplingStudyResult {
+            db_names: vec!["a".into()],
+            sizes: vec![10, 20, 30],
+            per_db_goodness: vec![vec![0.5, 0.9, 0.8]],
+            pool_sizes: vec![100],
+            avg_goodness: vec![0.5, 0.9, 0.8],
+            focus_high_coverage: true,
+        };
+        assert_eq!(recommended_size(&result, 0.0), 20);
+        assert_eq!(recommended_size(&result, 0.4), 10);
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 9 — the per-query-type error distributions of one database,
+//! i.e. the leaves of the query-type decision tree.
+
+use crate::testbed::Testbed;
+use mp_core::query_type::ArityBucket;
+use mp_core::QueryType;
+use serde::{Deserialize, Serialize};
+
+/// One ED leaf, rendered as labeled probability bars.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdLeaf {
+    /// The query type.
+    pub label: String,
+    /// Sample queries behind the ED.
+    pub samples: u64,
+    /// `(bin label, probability)` per non-empty bin.
+    pub bars: Vec<(String, f64)>,
+}
+
+/// The Figure 9 reproduction: the four 2-/3-term leaves of one database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// The database shown.
+    pub db_name: String,
+    /// The four leaves (2-term/3-term × low/high coverage).
+    pub leaves: Vec<EdLeaf>,
+}
+
+/// Extracts the decision-tree leaves for database `db`.
+pub fn run_fig9(tb: &Testbed, db: usize) -> Fig9Result {
+    let edges = &tb.config.core.ed_edges;
+    let bin_label = |bin: usize| -> String {
+        let pct = |e: f64| format!("{:+.0}%", e * 100.0);
+        if bin == 0 {
+            format!("<{}", pct(edges[0]))
+        } else if bin == edges.len() {
+            format!(">={}", pct(edges[edges.len() - 1]))
+        } else {
+            format!("[{},{})", pct(edges[bin - 1]), pct(edges[bin]))
+        }
+    };
+
+    let n_thresholds = tb.config.core.coverage_thresholds.len();
+    let mut wanted = Vec::new();
+    for arity in [ArityBucket::Two, ArityBucket::ThreeUp] {
+        for coverage in 0..=n_thresholds as u8 {
+            wanted.push(QueryType { arity, coverage });
+        }
+    }
+    let leaves = wanted
+        .iter()
+        .map(|&qt| match tb.library.ed(db, qt) {
+            Some(ed) => {
+                let probs = ed.histogram().probabilities();
+                let bars = probs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p > 0.0)
+                    .map(|(b, &p)| (bin_label(b), p))
+                    .collect();
+                EdLeaf { label: qt.to_string(), samples: ed.samples(), bars }
+            }
+            None => EdLeaf { label: qt.to_string(), samples: 0, bars: Vec::new() },
+        })
+        .collect();
+
+    Fig9Result { db_name: tb.mediator.db(db).name().to_string(), leaves }
+}
+
+/// Renders the leaves as text bars.
+pub fn render_fig9(result: &Fig9Result) -> String {
+    let mut out = format!(
+        "Fig. 9 — per-query-type EDs on database `{}` (decision-tree leaves)\n",
+        result.db_name
+    );
+    for leaf in &result.leaves {
+        out.push_str(&format!("\n  {} ({} samples)\n", leaf.label, leaf.samples));
+        if leaf.bars.is_empty() {
+            out.push_str("    (untrained leaf — falls back to sibling ED)\n");
+        }
+        for (label, p) in &leaf.bars {
+            let bar = "#".repeat((p * 40.0).round() as usize);
+            out.push_str(&format!("    {label:>14} {p:>6.3} {bar}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedConfig;
+
+    #[test]
+    fn leaves_cover_the_four_paper_types() {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let r = run_fig9(&tb, 0);
+        assert_eq!(r.leaves.len(), 4);
+        let total_samples: u64 = r.leaves.iter().map(|l| l.samples).sum();
+        // Every training query contributed to exactly one leaf on db 0.
+        assert_eq!(total_samples, tb.split.train.len() as u64);
+        // Bars are probabilities.
+        for leaf in &r.leaves {
+            let sum: f64 = leaf.bars.iter().map(|&(_, p)| p).sum();
+            if leaf.samples > 0 {
+                assert!((sum - 1.0).abs() < 1e-9, "{leaf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn renders_bars() {
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let s = render_fig9(&run_fig9(&tb, 0));
+        assert!(s.contains("2-term"));
+        assert!(s.contains("samples"));
+    }
+
+    #[test]
+    fn different_databases_have_different_eds() {
+        // The whole point of per-database EDs: at least two databases
+        // disagree on some leaf's distribution.
+        let tb = Testbed::build(TestbedConfig::tiny(1));
+        let a = run_fig9(&tb, 0);
+        let b = run_fig9(&tb, 1);
+        assert_ne!(
+            a.leaves.iter().map(|l| &l.bars).collect::<Vec<_>>(),
+            b.leaves.iter().map(|l| &l.bars).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per paper table/figure plus the ablations (DESIGN.md §4).
+
+pub mod ablations;
+pub mod fig15_selection;
+pub mod fig16_probing;
+pub mod fig17_threshold;
+pub mod fig7_sampling;
+pub mod fig8_goodness;
+pub mod fig9_query_types;
+
+pub use fig15_selection::{run_fig15, Fig15Result};
+pub use fig16_probing::{run_fig16, Fig16Result};
+pub use fig17_threshold::{run_fig17, Fig17Result};
+pub use fig7_sampling::{run_sampling_study, SamplingStudyConfig, SamplingStudyResult};
+pub use fig8_goodness::render_fig8;
+pub use fig9_query_types::{run_fig9, Fig9Result};

@@ -1,0 +1,147 @@
+//! The mediator: the set of Hidden-Web databases a metasearcher fronts.
+
+use crate::db::HiddenWebDatabase;
+use crate::summary::ContentSummary;
+use std::sync::Arc;
+
+/// The mediated database set, pairing each database with its locally
+/// stored [`ContentSummary`].
+///
+/// Databases are addressed by index throughout the library (the paper's
+/// `db_1 … db_n`); the mediator owns the authoritative ordering.
+#[derive(Clone)]
+pub struct Mediator {
+    dbs: Vec<Arc<dyn HiddenWebDatabase>>,
+    summaries: Vec<ContentSummary>,
+}
+
+impl std::fmt::Debug for Mediator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mediator")
+            .field("n_databases", &self.dbs.len())
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl Mediator {
+    /// Builds a mediator from databases and their summaries (aligned).
+    ///
+    /// # Panics
+    /// Panics if the two vectors have different lengths or are empty.
+    pub fn new(dbs: Vec<Arc<dyn HiddenWebDatabase>>, summaries: Vec<ContentSummary>) -> Self {
+        assert_eq!(dbs.len(), summaries.len(), "databases and summaries must align");
+        assert!(!dbs.is_empty(), "mediator needs at least one database");
+        Self { dbs, summaries }
+    }
+
+    /// Number of mediated databases (`n`).
+    pub fn len(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// Always false (constructor rejects empty sets).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Database `i`.
+    pub fn db(&self, i: usize) -> &dyn HiddenWebDatabase {
+        self.dbs[i].as_ref()
+    }
+
+    /// Shared handle to database `i`.
+    pub fn db_arc(&self, i: usize) -> Arc<dyn HiddenWebDatabase> {
+        Arc::clone(&self.dbs[i])
+    }
+
+    /// Summary of database `i`.
+    pub fn summary(&self, i: usize) -> &ContentSummary {
+        &self.summaries[i]
+    }
+
+    /// All summaries, index-aligned.
+    pub fn summaries(&self) -> &[ContentSummary] {
+        &self.summaries
+    }
+
+    /// Database names, index-aligned.
+    pub fn names(&self) -> Vec<&str> {
+        self.dbs.iter().map(|d| d.name()).collect()
+    }
+
+    /// Total probes served across all databases since the last reset.
+    pub fn total_probes(&self) -> u64 {
+        self.dbs.iter().map(|d| d.probe_count()).sum()
+    }
+
+    /// Resets every database's probe counter.
+    pub fn reset_probes(&self) {
+        for db in &self.dbs {
+            db.reset_probes();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::SimulatedHiddenDb;
+    use mp_index::{Document, IndexBuilder};
+    use mp_text::TermId;
+
+    fn make_db(name: &str, n_docs: u32) -> Arc<dyn HiddenWebDatabase> {
+        let mut b = IndexBuilder::new();
+        for i in 0..n_docs {
+            b.add(Document::from_terms([TermId(i % 3)]));
+        }
+        Arc::new(SimulatedHiddenDb::new(name, b.build()))
+    }
+
+    fn mediator() -> Mediator {
+        let dbs: Vec<Arc<dyn HiddenWebDatabase>> =
+            vec![make_db("a", 10), make_db("b", 20)];
+        let summaries = dbs
+            .iter()
+            .map(|d| {
+                // Cooperative summaries via a single full-vocabulary probe
+                // shortcut: size + dfs of the three terms.
+                let mut df = std::collections::HashMap::new();
+                for t in 0..3u32 {
+                    df.insert(TermId(t), d.search(&[TermId(t)], 0).match_count);
+                }
+                d.reset_probes();
+                ContentSummary::new(df, d.size_hint().unwrap())
+            })
+            .collect();
+        Mediator::new(dbs, summaries)
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = mediator();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.names(), vec!["a", "b"]);
+        assert_eq!(m.summary(0).size(), 10);
+        assert_eq!(m.summary(1).size(), 20);
+    }
+
+    #[test]
+    fn probe_accounting_is_global() {
+        let m = mediator();
+        assert_eq!(m.total_probes(), 0);
+        m.db(0).search(&[TermId(0)], 0);
+        m.db(1).search(&[TermId(1)], 0);
+        m.db(1).search(&[TermId(2)], 0);
+        assert_eq!(m.total_probes(), 3);
+        m.reset_probes();
+        assert_eq!(m.total_probes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn rejects_misaligned_inputs() {
+        let dbs = vec![make_db("a", 1)];
+        Mediator::new(dbs, vec![]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Failure injection: a wrapper simulating real Hidden-Web interface
+//! misbehaviour.
+//!
+//! Real search sites time out, return cached/stale counts, or round
+//! their "about N results" figures. The paper's model treats probe
+//! results as exact; [`UnreliableDb`] lets tests and experiments
+//! measure how gracefully the pipeline degrades when they are not:
+//!
+//! * **outage** — with probability `failure_rate` a search returns an
+//!   empty answer page (match count 0, no documents), as a timed-out
+//!   or rate-limited request effectively does;
+//! * **stale counts** — with probability `noise_rate` the match count
+//!   is perturbed by a relative factor up to ±`noise_span` (cached or
+//!   approximate counters).
+//!
+//! Injection is deterministic given the seed and the *sequence* of
+//! calls, so experiments remain reproducible.
+
+use crate::db::{HiddenWebDatabase, SearchResponse};
+use mp_index::{DocId, Document};
+use mp_text::TermId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A failure-injecting decorator around any [`HiddenWebDatabase`].
+pub struct UnreliableDb {
+    inner: Arc<dyn HiddenWebDatabase>,
+    failure_rate: f64,
+    noise_rate: f64,
+    noise_span: f64,
+    rng: Mutex<StdRng>,
+}
+
+impl std::fmt::Debug for UnreliableDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnreliableDb")
+            .field("inner", &self.inner.name())
+            .field("failure_rate", &self.failure_rate)
+            .field("noise_rate", &self.noise_rate)
+            .finish()
+    }
+}
+
+impl UnreliableDb {
+    /// Wraps `inner` with the given misbehaviour rates.
+    ///
+    /// # Panics
+    /// Panics unless `failure_rate`, `noise_rate` ∈ [0, 1] and
+    /// `noise_span` ∈ [0, 1).
+    pub fn new(
+        inner: Arc<dyn HiddenWebDatabase>,
+        failure_rate: f64,
+        noise_rate: f64,
+        noise_span: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&failure_rate), "failure_rate out of range");
+        assert!((0.0..=1.0).contains(&noise_rate), "noise_rate out of range");
+        assert!((0.0..1.0).contains(&noise_span), "noise_span out of range");
+        Self {
+            inner,
+            failure_rate,
+            noise_rate,
+            noise_span,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// A perfectly reliable wrapper (pass-through; for A/B fixtures).
+    pub fn reliable(inner: Arc<dyn HiddenWebDatabase>) -> Self {
+        Self::new(inner, 0.0, 0.0, 0.0, 0)
+    }
+}
+
+impl HiddenWebDatabase for UnreliableDb {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn search(&self, query: &[TermId], top_n: usize) -> SearchResponse {
+        let (fail, noise_factor) = {
+            let mut rng = self.rng.lock();
+            let fail = rng.gen::<f64>() < self.failure_rate;
+            let noise = if rng.gen::<f64>() < self.noise_rate {
+                1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * self.noise_span
+            } else {
+                1.0
+            };
+            (fail, noise)
+        };
+        if fail {
+            // Outage: the probe still *happened* (and cost time), so it
+            // is counted by the inner probe counter via a real call with
+            // no results requested.
+            let _ = self.inner.search(query, 0);
+            return SearchResponse { match_count: 0, top_docs: Vec::new() };
+        }
+        let mut resp = self.inner.search(query, top_n);
+        if noise_factor != 1.0 {
+            resp.match_count = ((resp.match_count as f64) * noise_factor).round().max(0.0) as u32;
+        }
+        resp
+    }
+
+    fn fetch(&self, doc: DocId) -> Document {
+        self.inner.fetch(doc)
+    }
+
+    fn size_hint(&self) -> Option<u32> {
+        self.inner.size_hint()
+    }
+
+    fn probe_count(&self) -> u64 {
+        self.inner.probe_count()
+    }
+
+    fn reset_probes(&self) {
+        self.inner.reset_probes();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::SimulatedHiddenDb;
+    use mp_index::{Document, IndexBuilder};
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn base_db() -> Arc<dyn HiddenWebDatabase> {
+        let mut b = IndexBuilder::new();
+        for _ in 0..100 {
+            b.add(Document::from_terms([t(1), t(2)]));
+        }
+        Arc::new(SimulatedHiddenDb::new("base", b.build()))
+    }
+
+    #[test]
+    fn reliable_wrapper_is_transparent() {
+        let db = UnreliableDb::reliable(base_db());
+        let r = db.search(&[t(1)], 5);
+        assert_eq!(r.match_count, 100);
+        assert_eq!(r.top_docs.len(), 5);
+        assert_eq!(db.name(), "base");
+        assert_eq!(db.size_hint(), Some(100));
+    }
+
+    #[test]
+    fn outages_return_empty_pages_at_roughly_the_configured_rate() {
+        let db = UnreliableDb::new(base_db(), 0.3, 0.0, 0.0, 42);
+        let n = 2000;
+        let failures = (0..n)
+            .filter(|_| db.search(&[t(1)], 0).match_count == 0)
+            .count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed outage rate {rate}");
+    }
+
+    #[test]
+    fn outages_still_cost_probes() {
+        let db = UnreliableDb::new(base_db(), 1.0, 0.0, 0.0, 1);
+        db.reset_probes();
+        let _ = db.search(&[t(1)], 3);
+        assert_eq!(db.probe_count(), 1);
+    }
+
+    #[test]
+    fn noise_perturbs_counts_within_span() {
+        let db = UnreliableDb::new(base_db(), 0.0, 1.0, 0.2, 7);
+        let mut saw_noise = false;
+        for _ in 0..200 {
+            let c = db.search(&[t(1)], 0).match_count;
+            assert!((80..=120).contains(&c), "count {c} outside ±20% of 100");
+            if c != 100 {
+                saw_noise = true;
+            }
+        }
+        assert!(saw_noise, "noise never fired at rate 1.0");
+    }
+
+    #[test]
+    fn injection_is_deterministic_in_seed_and_sequence() {
+        let a = UnreliableDb::new(base_db(), 0.4, 0.5, 0.3, 9);
+        let b = UnreliableDb::new(base_db(), 0.4, 0.5, 0.3, 9);
+        for _ in 0..100 {
+            assert_eq!(
+                a.search(&[t(1)], 0).match_count,
+                b.search(&[t(1)], 0).match_count
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_rate out of range")]
+    fn rejects_invalid_rates() {
+        UnreliableDb::new(base_db(), 1.5, 0.0, 0.0, 0);
+    }
+}

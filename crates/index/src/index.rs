@@ -1,0 +1,369 @@
+//! The inverted index: boolean matching, cosine retrieval, df summaries.
+
+use crate::document::Document;
+use crate::topk::TopK;
+use crate::types::{DocId, Posting, ScoredDoc};
+use mp_text::TermId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An immutable inverted index over a fixed document collection.
+///
+/// Construct via [`crate::IndexBuilder`]. Supports the two retrieval
+/// operations a Hidden-Web interface offers in the paper, plus summary
+/// export for the metasearcher.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    /// Postings per term id (dense over the shared vocabulary; terms
+    /// absent from this database have empty lists).
+    pub(crate) postings: Vec<Vec<Posting>>,
+    /// Per-document lengths (total term occurrences).
+    pub(crate) doc_lens: Vec<u32>,
+    /// Per-document tf-idf vector norms, precomputed at build time.
+    pub(crate) doc_norms: Vec<f64>,
+    /// Number of documents.
+    pub(crate) doc_count: u32,
+}
+
+impl InvertedIndex {
+    /// Number of documents in the collection (`|db|` in the paper).
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// Document frequency of a term: the paper's `r(db, t)`, the
+    /// "number of appearances" column of Figure 2.
+    pub fn df(&self, term: TermId) -> u32 {
+        self.postings
+            .get(term.index())
+            .map(|p| p.len() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Postings list for a term (empty slice if unseen).
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings
+            .get(term.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Counts documents containing **all** query terms — the paper's
+    /// "number of matching documents", i.e. the actual relevancy
+    /// `r(db, q)` under the document-frequency-based definition.
+    ///
+    /// Duplicate query terms are deduplicated; an empty query matches
+    /// every document (vacuous AND).
+    pub fn count_matching(&self, query: &[TermId]) -> u32 {
+        match self.matching_docs_impl(query, None) {
+            MatchOutcome::Count(c) => c,
+            MatchOutcome::Docs(_) => unreachable!("count mode returns Count"),
+        }
+    }
+
+    /// Returns the ids of documents containing all query terms.
+    pub fn matching_docs(&self, query: &[TermId]) -> Vec<DocId> {
+        match self.matching_docs_impl(query, Some(usize::MAX)) {
+            MatchOutcome::Docs(d) => d,
+            MatchOutcome::Count(_) => unreachable!("collect mode returns Docs"),
+        }
+    }
+
+    fn matching_docs_impl(&self, query: &[TermId], collect: Option<usize>) -> MatchOutcome {
+        let mut terms: Vec<TermId> = query.to_vec();
+        terms.sort_unstable();
+        terms.dedup();
+        if terms.is_empty() {
+            return match collect {
+                None => MatchOutcome::Count(self.doc_count),
+                Some(limit) => MatchOutcome::Docs(
+                    (0..self.doc_count.min(limit as u32)).map(DocId).collect(),
+                ),
+            };
+        }
+        // Intersect shortest-first: standard merge-intersection, linear
+        // in the smallest postings list.
+        let mut lists: Vec<&[Posting]> = terms.iter().map(|&t| self.postings(t)).collect();
+        lists.sort_by_key(|l| l.len());
+        if lists[0].is_empty() {
+            return match collect {
+                None => MatchOutcome::Count(0),
+                Some(_) => MatchOutcome::Docs(Vec::new()),
+            };
+        }
+        let mut current: Vec<DocId> = lists[0].iter().map(|p| p.doc).collect();
+        for list in &lists[1..] {
+            let mut next = Vec::with_capacity(current.len().min(list.len()));
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < current.len() && j < list.len() {
+                match current[i].cmp(&list[j].doc) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        next.push(current[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        match collect {
+            None => MatchOutcome::Count(current.len() as u32),
+            Some(limit) => {
+                current.truncate(limit);
+                MatchOutcome::Docs(current)
+            }
+        }
+    }
+
+    /// Inverse document frequency with add-one smoothing:
+    /// `ln(1 + N / (1 + df))`. Strictly positive, finite for df = 0.
+    pub fn idf(&self, term: TermId) -> f64 {
+        (1.0 + self.doc_count as f64 / (1.0 + self.df(term) as f64)).ln()
+    }
+
+    /// Retrieves the `k` documents most cosine-similar to the query
+    /// under tf-idf weighting — the paper's document-similarity
+    /// relevancy surrogate (Section 2.1, citing \[22\]).
+    ///
+    /// Documents sharing *any* query term are scored (disjunctive
+    /// scoring, as vector-space engines do).
+    pub fn cosine_topk(&self, query: &[TermId], k: usize) -> Vec<ScoredDoc> {
+        let mut qtf: HashMap<TermId, u32> = HashMap::new();
+        for &t in query {
+            *qtf.entry(t).or_insert(0) += 1;
+        }
+        if qtf.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut qnorm2 = 0.0;
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        for (&t, &tfq) in &qtf {
+            let idf = self.idf(t);
+            let wq = tfq as f64 * idf;
+            qnorm2 += wq * wq;
+            for p in self.postings(t) {
+                let wd = p.tf as f64 * idf;
+                *acc.entry(p.doc).or_insert(0.0) += wq * wd;
+            }
+        }
+        let qnorm = qnorm2.sqrt();
+        if qnorm == 0.0 {
+            return Vec::new();
+        }
+        let mut topk = TopK::new(k);
+        for (doc, dot) in acc {
+            let dnorm = self.doc_norms[doc.index()];
+            if dnorm > 0.0 {
+                topk.offer(ScoredDoc { doc, score: dot / (qnorm * dnorm) });
+            }
+        }
+        topk.into_sorted()
+    }
+
+    /// The maximum query-document cosine similarity in the collection —
+    /// the actual relevancy `r(db, q)` under the document-similarity
+    /// definition ("relevancy of the most relevant document", Section
+    /// 2.1). Zero when nothing matches.
+    pub fn max_similarity(&self, query: &[TermId]) -> f64 {
+        self.cosine_topk(query, 1).first().map(|s| s.score).unwrap_or(0.0)
+    }
+
+    /// Exports the `(term → df)` content summary used by summary-based
+    /// estimators, together with the collection size.
+    pub fn df_summary(&self) -> (HashMap<TermId, u32>, u32) {
+        let mut map = HashMap::new();
+        for (i, p) in self.postings.iter().enumerate() {
+            if !p.is_empty() {
+                map.insert(TermId(i as u32), p.len() as u32);
+            }
+        }
+        (map, self.doc_count)
+    }
+
+    /// Number of distinct terms with non-empty postings.
+    pub fn distinct_terms(&self) -> usize {
+        self.postings.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Reconstructs a [`Document`] term bag from the index (used by
+    /// probe responses that "download" top documents).
+    pub fn reconstruct_doc(&self, doc: DocId) -> Document {
+        let mut d = Document::new();
+        for (i, postings) in self.postings.iter().enumerate() {
+            if let Ok(pos) = postings.binary_search_by_key(&doc, |p| p.doc) {
+                d.add_term(TermId(i as u32), postings[pos].tf);
+            }
+        }
+        d
+    }
+}
+
+enum MatchOutcome {
+    Count(u32),
+    Docs(Vec<DocId>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use proptest::prelude::*;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    /// Builds an index over documents given as term-id lists.
+    fn index_of(docs: &[&[u32]]) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for d in docs {
+            b.add(Document::from_terms(d.iter().map(|&i| t(i))));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let idx = index_of(&[&[1, 1, 1], &[1, 2], &[2]]);
+        assert_eq!(idx.df(t(1)), 2);
+        assert_eq!(idx.df(t(2)), 2);
+        assert_eq!(idx.df(t(9)), 0);
+    }
+
+    #[test]
+    fn count_matching_is_boolean_and() {
+        let idx = index_of(&[&[1, 2], &[1], &[2], &[1, 2, 3]]);
+        assert_eq!(idx.count_matching(&[t(1)]), 3);
+        assert_eq!(idx.count_matching(&[t(1), t(2)]), 2);
+        assert_eq!(idx.count_matching(&[t(1), t(2), t(3)]), 1);
+        assert_eq!(idx.count_matching(&[t(4)]), 0);
+        assert_eq!(idx.count_matching(&[]), 4);
+    }
+
+    #[test]
+    fn duplicate_query_terms_are_deduplicated() {
+        let idx = index_of(&[&[1], &[1, 2]]);
+        assert_eq!(idx.count_matching(&[t(1), t(1)]), 2);
+    }
+
+    #[test]
+    fn matching_docs_returns_ids() {
+        let idx = index_of(&[&[1, 2], &[1], &[1, 2]]);
+        let got = idx.matching_docs(&[t(1), t(2)]);
+        assert_eq!(got, vec![DocId(0), DocId(2)]);
+    }
+
+    #[test]
+    fn cosine_prefers_exhaustive_match() {
+        // doc0 uses both query terms; doc1 only one.
+        let idx = index_of(&[&[1, 2], &[1, 3], &[4]]);
+        let hits = idx.cosine_topk(&[t(1), t(2)], 10);
+        assert_eq!(hits[0].doc, DocId(0));
+        assert!(hits[0].score > hits[1].score);
+        // doc2 shares no term: not retrieved.
+        assert!(hits.iter().all(|h| h.doc != DocId(2)));
+    }
+
+    #[test]
+    fn cosine_identical_doc_scores_one() {
+        let idx = index_of(&[&[1, 2, 3], &[4]]);
+        let hits = idx.cosine_topk(&[t(1), t(2), t(3)], 1);
+        assert!((hits[0].score - 1.0).abs() < 1e-9);
+        assert!((idx.max_similarity(&[t(1), t(2), t(3)]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_similarity_zero_when_no_match() {
+        let idx = index_of(&[&[1]]);
+        assert_eq!(idx.max_similarity(&[t(7)]), 0.0);
+    }
+
+    #[test]
+    fn df_summary_roundtrip() {
+        let idx = index_of(&[&[1, 2], &[2]]);
+        let (summary, n) = idx.df_summary();
+        assert_eq!(n, 2);
+        assert_eq!(summary.get(&t(1)), Some(&1));
+        assert_eq!(summary.get(&t(2)), Some(&2));
+        assert_eq!(summary.len(), 2);
+    }
+
+    #[test]
+    fn reconstruct_doc_matches_input() {
+        let idx = index_of(&[&[1, 1, 3], &[2]]);
+        let d = idx.reconstruct_doc(DocId(0));
+        assert_eq!(d.tf(t(1)), 2);
+        assert_eq!(d.tf(t(3)), 1);
+        assert_eq!(d.tf(t(2)), 0);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let idx = index_of(&[]);
+        assert_eq!(idx.doc_count(), 0);
+        assert_eq!(idx.count_matching(&[t(1)]), 0);
+        assert!(idx.cosine_topk(&[t(1)], 5).is_empty());
+    }
+
+    /// Naive oracle: scan every document.
+    fn naive_count(docs: &[Vec<u32>], query: &[u32]) -> u32 {
+        docs.iter()
+            .filter(|d| {
+                query
+                    .iter()
+                    .all(|q| d.contains(q))
+            })
+            .count() as u32
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_count_matching_matches_naive_scan(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u32..20, 0..15), 0..40),
+            query in proptest::collection::vec(0u32..25, 0..4)
+        ) {
+            let refs: Vec<&[u32]> = docs.iter().map(Vec::as_slice).collect();
+            let idx = index_of(&refs);
+            let q: Vec<TermId> = query.iter().map(|&i| t(i)).collect();
+            prop_assert_eq!(idx.count_matching(&q), naive_count(&docs, &query));
+        }
+
+        #[test]
+        fn prop_cosine_scores_in_unit_interval(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u32..10, 1..10), 1..20),
+            query in proptest::collection::vec(0u32..10, 1..4)
+        ) {
+            let refs: Vec<&[u32]> = docs.iter().map(Vec::as_slice).collect();
+            let idx = index_of(&refs);
+            let q: Vec<TermId> = query.iter().map(|&i| t(i)).collect();
+            for hit in idx.cosine_topk(&q, 100) {
+                prop_assert!(hit.score > 0.0 && hit.score <= 1.0 + 1e-9,
+                    "score {}", hit.score);
+            }
+        }
+
+        #[test]
+        fn prop_topk_is_prefix_of_full_ranking(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u32..10, 1..10), 1..20),
+            query in proptest::collection::vec(0u32..10, 1..3),
+            k in 1usize..10
+        ) {
+            let refs: Vec<&[u32]> = docs.iter().map(Vec::as_slice).collect();
+            let idx = index_of(&refs);
+            let q: Vec<TermId> = query.iter().map(|&i| t(i)).collect();
+            let full = idx.cosine_topk(&q, usize::MAX >> 1);
+            let short = idx.cosine_topk(&q, k);
+            prop_assert_eq!(&short[..], &full[..k.min(full.len())]);
+        }
+    }
+}

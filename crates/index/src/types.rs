@@ -1,0 +1,73 @@
+//! Core identifier and result types for the search engine.
+
+use serde::{Deserialize, Serialize};
+
+/// A document identifier, dense within one index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// One postings-list entry: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// The document containing the term.
+    pub doc: DocId,
+    /// Number of occurrences of the term in the document.
+    pub tf: u32,
+}
+
+/// A retrieved document with its similarity score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredDoc {
+    /// The document.
+    pub doc: DocId,
+    /// Cosine similarity of the query and document tf-idf vectors.
+    pub score: f64,
+}
+
+impl ScoredDoc {
+    /// Ordering for result lists: score descending, then doc id ascending
+    /// (a total, deterministic order — scores are finite by construction).
+    pub fn ranking_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are finite")
+            .then(self.doc.cmp(&other.doc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_order_is_score_desc_then_id_asc() {
+        let mut v = [ScoredDoc { doc: DocId(2), score: 0.5 },
+            ScoredDoc { doc: DocId(1), score: 0.9 },
+            ScoredDoc { doc: DocId(0), score: 0.5 }];
+        v.sort_by(|a, b| a.ranking_cmp(b));
+        assert_eq!(
+            v.iter().map(|s| s.doc.0).collect::<Vec<_>>(),
+            vec![1, 0, 2]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DocId(7).to_string(), "d7");
+    }
+}

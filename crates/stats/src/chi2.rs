@@ -1,0 +1,217 @@
+//! Pearson χ² goodness-of-fit testing.
+//!
+//! Reproduces the statistical test from the paper's sampling-size study
+//! (Section 4.2): a *sample* error distribution `ED_S` (built from `S`
+//! sample queries) is compared against the *ideal* error distribution
+//! `ED_total` (built from every available query) with a standard Pearson
+//! χ² test using 10 bins and 9 degrees of freedom. The returned p-value
+//! is the "goodness" of the sampling size — values above 0.5 mean the
+//! sample ED is statistically indistinguishable from the ideal ED.
+
+use crate::histogram::Histogram;
+use crate::special::gamma_p;
+use serde::{Deserialize, Serialize};
+
+/// χ² cumulative distribution function with `dof` degrees of freedom.
+///
+/// `chi2_cdf(x, k) = P(k/2, x/2)`.
+pub fn chi2_cdf(x: f64, dof: f64) -> f64 {
+    assert!(dof > 0.0, "degrees of freedom must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(dof / 2.0, x / 2.0)
+}
+
+/// Upper-tail χ² probability `P(X ≥ x)` — the test's p-value.
+pub fn chi2_sf(x: f64, dof: f64) -> f64 {
+    (1.0 - chi2_cdf(x, dof)).clamp(0.0, 1.0)
+}
+
+/// Outcome of a Pearson χ² goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Chi2Outcome {
+    /// The χ² statistic `Σ (O_i − E_i)² / E_i`.
+    pub statistic: f64,
+    /// Degrees of freedom actually used (bins contributing − 1).
+    pub dof: f64,
+    /// Upper-tail p-value; near 1 means "indistinguishable from expected".
+    pub p_value: f64,
+}
+
+/// Pearson χ² test of observed counts against expected probabilities.
+///
+/// * `observed` — per-bin counts from the sample.
+/// * `expected_probs` — per-bin probabilities of the reference
+///   distribution (need not be normalized; rescaled internally).
+///
+/// Bins whose expected probability is zero are merged into a pooled
+/// remainder bin (standard practice: a zero-expectation bin with a
+/// nonzero observation would otherwise produce an infinite statistic).
+/// Degrees of freedom are `effective_bins − 1`, matching the paper's
+/// "10 bins and degree of freedom as 9".
+///
+/// # Panics
+/// Panics if lengths differ or the observed sample is empty.
+pub fn pearson_chi2_test(observed: &[u64], expected_probs: &[f64]) -> Chi2Outcome {
+    assert_eq!(
+        observed.len(),
+        expected_probs.len(),
+        "observed and expected must have the same number of bins"
+    );
+    let n: u64 = observed.iter().sum();
+    assert!(n > 0, "observed sample is empty");
+    let probs_total: f64 = expected_probs.iter().sum();
+    assert!(probs_total > 0.0, "expected probabilities are all zero");
+
+    let mut statistic = 0.0;
+    let mut used_bins = 0usize;
+    let mut pooled_obs = 0u64;
+    for (&o, &ep) in observed.iter().zip(expected_probs) {
+        let p = ep / probs_total;
+        if p <= 0.0 {
+            pooled_obs += o;
+            continue;
+        }
+        let e = p * n as f64;
+        statistic += (o as f64 - e) * (o as f64 - e) / e;
+        used_bins += 1;
+    }
+    if pooled_obs > 0 {
+        // Observations landing in zero-expectation bins: attribute them a
+        // vanishing expectation floor of one half-count so the statistic
+        // is finite but strongly penalized.
+        let e = 0.5;
+        statistic += (pooled_obs as f64 - e) * (pooled_obs as f64 - e) / e;
+        used_bins += 1;
+    }
+    let dof = (used_bins.max(2) - 1) as f64;
+    Chi2Outcome { statistic, dof, p_value: chi2_sf(statistic, dof) }
+}
+
+/// Convenience wrapper: tests a sample [`Histogram`] against a reference
+/// [`Histogram`] over the same bins (the paper's `ED_S` vs `ED_total`
+/// comparison). The reference provides the expected probabilities.
+///
+/// # Panics
+/// Panics if bin specs differ or either histogram is empty.
+pub fn histogram_goodness(sample: &Histogram, reference: &Histogram) -> Chi2Outcome {
+    assert_eq!(
+        sample.spec(),
+        reference.spec(),
+        "histograms must share one bin spec"
+    );
+    assert!(reference.total() > 0, "reference histogram is empty");
+    pearson_chi2_test(sample.counts(), &reference.probabilities())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::BinSpec;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn chi2_cdf_reference_values() {
+        // Quantiles from standard χ² tables.
+        assert!((chi2_cdf(3.841, 1.0) - 0.95).abs() < 1e-3);
+        assert!((chi2_cdf(16.919, 9.0) - 0.95).abs() < 1e-3);
+        assert!((chi2_cdf(8.343, 9.0) - 0.5).abs() < 1e-3);
+        assert_eq!(chi2_cdf(0.0, 5.0), 0.0);
+        assert_eq!(chi2_cdf(-1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn chi2_sf_complements_cdf() {
+        for &x in &[0.5, 3.0, 9.0, 20.0] {
+            let s = chi2_cdf(x, 9.0) + chi2_sf(x, 9.0);
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perfect_match_gives_high_p_value() {
+        // Observed exactly proportional to expected → statistic 0, p = 1.
+        let observed = [10u64, 20, 30, 40];
+        let expected = [0.1, 0.2, 0.3, 0.4];
+        let out = pearson_chi2_test(&observed, &expected);
+        assert!(out.statistic < 1e-12);
+        assert!((out.p_value - 1.0).abs() < 1e-12);
+        assert_eq!(out.dof, 3.0);
+    }
+
+    #[test]
+    fn gross_mismatch_gives_low_p_value() {
+        let observed = [100u64, 0, 0, 0];
+        let expected = [0.25, 0.25, 0.25, 0.25];
+        let out = pearson_chi2_test(&observed, &expected);
+        assert!(out.p_value < 1e-6, "p={}", out.p_value);
+    }
+
+    #[test]
+    fn zero_expectation_bins_are_pooled() {
+        let observed = [50u64, 50, 3];
+        let expected = [0.5, 0.5, 0.0];
+        let out = pearson_chi2_test(&observed, &expected);
+        // Finite statistic despite the zero-probability bin.
+        assert!(out.statistic.is_finite());
+        assert!(out.p_value < 0.05, "stray mass should be penalized");
+    }
+
+    #[test]
+    fn zero_expectation_zero_observation_is_ignored() {
+        let observed = [50u64, 50, 0];
+        let expected = [0.5, 0.5, 0.0];
+        let out = pearson_chi2_test(&observed, &expected);
+        assert!((out.p_value - 1.0).abs() < 1e-12);
+        assert_eq!(out.dof, 1.0);
+    }
+
+    #[test]
+    fn sampled_histogram_against_its_source_is_good() {
+        // Draw from a known distribution; a sample histogram should pass
+        // the χ² test against the full histogram most of the time. This
+        // is exactly the paper's experiment shape.
+        let spec = BinSpec::uniform(0.0, 1.0, 9); // ~10 interior bins
+        let mut rng = StdRng::seed_from_u64(99);
+        let all: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>().powf(2.0)).collect();
+        let reference = Histogram::from_samples(spec.clone(), all.iter().copied());
+
+        let mut goods = 0;
+        let trials = 20;
+        for t in 0..trials {
+            let mut r2 = StdRng::seed_from_u64(1000 + t);
+            let sample = Histogram::from_samples(
+                spec.clone(),
+                (0..500).map(|_| all[r2.gen_range(0..all.len())]),
+            );
+            let out = histogram_goodness(&sample, &reference);
+            if out.p_value > 0.05 {
+                goods += 1;
+            }
+        }
+        assert!(goods >= trials * 8 / 10, "only {goods}/{trials} passed");
+    }
+
+    #[test]
+    fn mismatched_source_is_detected() {
+        let spec = BinSpec::uniform(0.0, 1.0, 9);
+        let mut rng = StdRng::seed_from_u64(5);
+        let reference = Histogram::from_samples(
+            spec.clone(),
+            (0..50_000).map(|_| rng.gen::<f64>().powf(2.0)),
+        );
+        let sample = Histogram::from_samples(
+            spec,
+            (0..2_000).map(|_| rng.gen::<f64>()), // uniform, not x²-skewed
+        );
+        let out = histogram_goodness(&sample, &reference);
+        assert!(out.p_value < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of bins")]
+    fn mismatched_lengths_panic() {
+        pearson_chi2_test(&[1, 2], &[0.5, 0.25, 0.25]);
+    }
+}

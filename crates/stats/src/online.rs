@@ -1,0 +1,203 @@
+//! Streaming (online) summary statistics.
+//!
+//! Welford's algorithm for numerically stable running mean/variance,
+//! plus min/max tracking. The experiment harness aggregates per-query
+//! correctness and probe counts over thousands of queries with this.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming mean / variance / min / max.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds an accumulator from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "OnlineStats observations must be finite");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = OnlineStats::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = OnlineStats::from_slice(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let a = OnlineStats::from_slice(&[1.0, 2.0, 3.0]);
+        let b = OnlineStats::from_slice(&[10.0, 20.0]);
+        let mut m = a;
+        m.merge(&b);
+        let all = OnlineStats::from_slice(&[1.0, 2.0, 3.0, 10.0, 20.0]);
+        assert_eq!(m.count(), all.count());
+        assert!((m.mean() - all.mean()).abs() < 1e-12);
+        assert!((m.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(m.min(), all.min());
+        assert_eq!(m.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = OnlineStats::from_slice(&[5.0, 6.0]);
+        let mut m = a;
+        m.merge(&OnlineStats::new());
+        assert_eq!(m, a);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(xs in proptest::collection::vec(-1e4f64..1e4, 1..200)) {
+            let s = OnlineStats::from_slice(&xs);
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() < 1e-7);
+            prop_assert!((s.variance() - var).abs() < 1e-5);
+        }
+
+        #[test]
+        fn prop_merge_order_invariant(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+            ys in proptest::collection::vec(-1e3f64..1e3, 1..50)
+        ) {
+            let a = OnlineStats::from_slice(&xs);
+            let b = OnlineStats::from_slice(&ys);
+            let mut ab = a; ab.merge(&b);
+            let mut ba = b; ba.merge(&a);
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+            prop_assert!((ab.variance() - ba.variance()).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Random sampling utilities: Zipf, alias-method categorical sampling,
+//! and reservoir sampling.
+//!
+//! The synthetic corpus generator leans on these: natural-language term
+//! frequencies are famously Zipf-distributed, and document generation
+//! draws millions of terms from fixed categorical distributions — the
+//! alias method makes each draw `O(1)`.
+
+use rand::Rng;
+
+/// A Zipf(s) distribution over ranks `1..=n`: `P(rank) ∝ rank^{-s}`.
+///
+/// Sampling is `O(log n)` via binary search over the precomputed CDF;
+/// construction is `O(n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` degenerates to the uniform distribution; `s ≈ 1` matches
+    /// natural-language term frequencies.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (constructor requires `n ≥ 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of a given 0-based index.
+    pub fn prob(&self, index: usize) -> f64 {
+        let hi = self.cdf[index];
+        let lo = if index == 0 { 0.0 } else { self.cdf[index - 1] };
+        hi - lo
+    }
+
+    /// Samples a 0-based index (rank − 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Walker's alias method: `O(1)` sampling from a fixed categorical
+/// distribution after `O(n)` preprocessing.
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl AliasSampler {
+    /// Builds a sampler from non-negative weights (at least one positive).
+    ///
+    /// # Panics
+    /// Panics on empty input, negative/non-finite weights, or all-zero
+    /// weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasSampler needs at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i)
+            } else {
+                large.push(i)
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] += scaled[s] - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        let norm: Vec<f64> = weights.iter().map(|&w| w / total).collect();
+        Self { prob, alias, weights: norm }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Always false (constructor requires a non-empty input).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The normalized probability of category `i`.
+    pub fn prob_of(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Samples a category index in `O(1)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Uniform reservoir sampling: selects `k` items uniformly at random from
+/// an iterator of unknown length in one pass (Algorithm R).
+pub fn reservoir_sample<T, R: Rng + ?Sized>(
+    iter: impl IntoIterator<Item = T>,
+    k: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if reservoir.len() < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|i| z.prob(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let z = Zipf::new(50, 1.0);
+        for i in 1..50 {
+            assert!(z.prob(i) <= z.prob(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.prob(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            assert!((emp - z.prob(i)).abs() < 0.01, "rank {i}: {emp} vs {}", z.prob(i));
+        }
+    }
+
+    #[test]
+    fn alias_empirical_frequencies() {
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let a = AliasSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[a.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight category must never be drawn");
+        for i in [0usize, 1, 3] {
+            let emp = counts[i] as f64 / n as f64;
+            assert!((emp - a.prob_of(i)).abs() < 0.01, "cat {i}: {emp}");
+        }
+    }
+
+    #[test]
+    fn alias_single_category() {
+        let a = AliasSampler::new(&[7.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(a.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn alias_rejects_all_zero() {
+        AliasSampler::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reservoir_exact_when_k_exceeds_n() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let got = reservoir_sample(0..5, 10, &mut rng);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reservoir_is_approximately_uniform() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 20usize;
+        let k = 5usize;
+        let trials = 40_000;
+        let mut hit = vec![0usize; n];
+        for _ in 0..trials {
+            for x in reservoir_sample(0..n, k, &mut rng) {
+                hit[x] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        for (i, &h) in hit.iter().enumerate() {
+            assert!(
+                (h as f64 - expect).abs() < expect * 0.1,
+                "item {i}: {h} vs {expect}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_alias_probs_match_weights(
+            weights in proptest::collection::vec(0.0f64..10.0, 1..20)
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+            let a = AliasSampler::new(&weights);
+            let total: f64 = weights.iter().sum();
+            for (i, &w) in weights.iter().enumerate() {
+                prop_assert!((a.prob_of(i) - w / total).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_zipf_sample_in_range(n in 1usize..200, s in 0.0f64..3.0, seed in 0u64..100) {
+            let z = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn prop_reservoir_size(n in 0usize..100, k in 0usize..20, seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = reservoir_sample(0..n, k, &mut rng);
+            prop_assert_eq!(got.len(), k.min(n));
+        }
+    }
+}

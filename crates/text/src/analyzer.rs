@@ -1,0 +1,89 @@
+//! The full analysis chain: tokenize → stopword-filter → stem.
+
+use crate::{is_stopword, stem, tokenize};
+
+/// Text analyzer configuration.
+///
+/// One `Analyzer` is shared by the indexer and the query parser so both
+/// sides normalize identically — the consistency contract every
+/// summary-based estimator silently relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Analyzer {
+    /// Drop stopwords (default true).
+    pub remove_stopwords: bool,
+    /// Apply the suffix stemmer (default true).
+    pub apply_stemming: bool,
+    /// Drop tokens shorter than this many characters (default 2).
+    pub min_token_len: usize,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self { remove_stopwords: true, apply_stemming: true, min_token_len: 2 }
+    }
+}
+
+impl Analyzer {
+    /// An analyzer that performs tokenization only.
+    pub fn plain() -> Self {
+        Self { remove_stopwords: false, apply_stemming: false, min_token_len: 1 }
+    }
+
+    /// Analyzes free text into normalized terms.
+    ///
+    /// ```
+    /// use mp_text::Analyzer;
+    /// let terms = Analyzer::default().analyze("The breast cancers!");
+    /// assert_eq!(terms, vec!["breast", "cancer"]);
+    /// ```
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        tokenize(text)
+            .into_iter()
+            .filter(|t| t.len() >= self.min_token_len)
+            .filter(|t| !self.remove_stopwords || !is_stopword(t))
+            .map(|t| if self.apply_stemming { stem(&t) } else { t })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline() {
+        let a = Analyzer::default();
+        assert_eq!(
+            a.analyze("The effectiveness of treatments for cancers"),
+            vec!["effective", "treat", "cancer"]
+        );
+    }
+
+    #[test]
+    fn plain_pipeline_only_tokenizes() {
+        let a = Analyzer::plain();
+        assert_eq!(a.analyze("The Cats"), vec!["the", "cats"]);
+    }
+
+    #[test]
+    fn min_token_len_filters() {
+        let a = Analyzer { min_token_len: 4, ..Analyzer::default() };
+        assert_eq!(a.analyze("flu pandemic flu"), vec!["pandemic"]);
+    }
+
+    #[test]
+    fn query_and_document_agree() {
+        let a = Analyzer::default();
+        // A document containing "screenings" must match a query for
+        // "screening" after analysis.
+        let doc_terms = a.analyze("annual screenings recommended");
+        let query_terms = a.analyze("screening");
+        assert!(doc_terms.contains(&query_terms[0]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Analyzer::default().analyze("").is_empty());
+        assert!(Analyzer::default().analyze("the of and").is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Lightweight suffix-stripping stemmer.
+//!
+//! A deterministic Porter-subset stemmer: it applies the highest-value
+//! suffix rules (plurals, `-ing`, `-ed`, `-ly`, common nominalizations)
+//! with the standard "measure" guard so short words are left intact.
+//! Queries and documents pass through the same stemmer, which is all the
+//! relevancy machinery requires — summaries, probes, and estimates stay
+//! mutually consistent.
+
+/// True if byte `b` of `w` acts as a vowel (a e i o u, or y after a
+/// consonant).
+fn is_vowel(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => true,
+        b'y' => i > 0 && !is_vowel(w, i - 1),
+        _ => false,
+    }
+}
+
+/// Porter "measure": the number of vowel→consonant transitions — a proxy
+/// for syllable count. Rules only fire when the stem keeps measure > 0,
+/// which protects short roots ("sing" is not "s" + "ing").
+fn measure(w: &[u8]) -> usize {
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for i in 0..w.len() {
+        let v = is_vowel(w, i);
+        if prev_vowel && !v {
+            m += 1;
+        }
+        prev_vowel = v;
+    }
+    m
+}
+
+/// True if `w` contains at least one vowel.
+fn has_vowel(w: &[u8]) -> bool {
+    (0..w.len()).any(|i| is_vowel(w, i))
+}
+
+/// Stems a lowercase ASCII word.
+///
+/// Words shorter than 4 characters are returned unchanged.
+///
+/// ```
+/// use mp_text::stem;
+/// assert_eq!(stem("cancers"), "cancer");
+/// assert_eq!(stem("running"), "run");
+/// assert_eq!(stem("databases"), "database");
+/// ```
+pub fn stem(word: &str) -> String {
+    let mut w = word.as_bytes().to_vec();
+    if w.len() < 4 {
+        return word.to_string();
+    }
+
+    // Step 1a: plurals.
+    if w.ends_with(b"sses") {
+        w.truncate(w.len() - 2); // sses -> ss
+    } else if w.ends_with(b"ies") {
+        w.truncate(w.len() - 2); // ies -> i
+    } else if w.ends_with(b"s") && !w.ends_with(b"ss") && !w.ends_with(b"us") {
+        w.truncate(w.len() - 1);
+    }
+
+    // Step 1b: -ed / -ing with vowel-in-stem guard.
+    let mut cleanup = false;
+    if w.ends_with(b"eed") {
+        if measure(&w[..w.len() - 3]) > 0 {
+            w.truncate(w.len() - 1); // eed -> ee
+        }
+    } else if w.ends_with(b"ed") && has_vowel(&w[..w.len() - 2]) {
+        w.truncate(w.len() - 2);
+        cleanup = true;
+    } else if w.ends_with(b"ing") && has_vowel(&w[..w.len() - 3]) {
+        w.truncate(w.len() - 3);
+        cleanup = true;
+    }
+    if cleanup {
+        if w.ends_with(b"at") || w.ends_with(b"bl") || w.ends_with(b"iz") {
+            w.push(b'e'); // conflat(ed) -> conflate
+        } else if w.len() >= 2 && w[w.len() - 1] == w[w.len() - 2] {
+            let c = w[w.len() - 1];
+            if !matches!(c, b'l' | b's' | b'z') {
+                w.truncate(w.len() - 1); // hopp(ing) -> hop
+            }
+        } else if w.len() >= 3 && measure(&w) == 1 && ends_cvc(&w) {
+            w.push(b'e'); // fil(ing) -> file
+        }
+    }
+
+    // Step 1c: terminal y -> i when a vowel precedes it.
+    if w.ends_with(b"y") && has_vowel(&w[..w.len() - 1]) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+
+    // Step 2/3 (abridged): the highest-frequency nominalizations.
+    const RULES: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"ization", b"ize"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"biliti", b"ble"),
+        (b"tional", b"tion"),
+        (b"alism", b"al"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"ement", b""),
+        (b"ness", b""),
+        (b"ment", b""),
+    ];
+    for &(suffix, replacement) in RULES {
+        if w.ends_with(suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(&w[..stem_len]) > 0 {
+                w.truncate(stem_len);
+                w.extend_from_slice(replacement);
+            }
+            break;
+        }
+    }
+
+    String::from_utf8(w).expect("ASCII transformations preserve UTF-8")
+}
+
+/// True when the word ends consonant-vowel-consonant with the final
+/// consonant not being w, x, or y (Porter's *o condition).
+fn ends_cvc(w: &[u8]) -> bool {
+    let n = w.len();
+    if n < 3 {
+        return false;
+    }
+    !is_vowel(w, n - 1)
+        && is_vowel(w, n - 2)
+        && !is_vowel(w, n - 3)
+        && !matches!(w[n - 1], b'w' | b'x' | b'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(stem("cancers"), "cancer");
+        assert_eq!(stem("caresses"), "caress");
+        assert_eq!(stem("ponies"), "poni");
+        assert_eq!(stem("virus"), "virus"); // -us guard
+        assert_eq!(stem("caress"), "caress"); // -ss guard
+    }
+
+    #[test]
+    fn ed_and_ing() {
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("hopped"), "hop");
+        assert_eq!(stem("conflated"), "conflate");
+        assert_eq!(stem("agreed"), "agree");
+        assert_eq!(stem("sing"), "sing"); // no vowel in stem "s"
+        assert_eq!(stem("filing"), "file");
+        assert_eq!(stem("falling"), "fall"); // double-l not undoubled
+    }
+
+    #[test]
+    fn y_to_i() {
+        assert_eq!(stem("happy"), "happi");
+        assert_eq!(stem("sky"), "sky"); // too short & no vowel before y
+    }
+
+    #[test]
+    fn nominalizations() {
+        assert_eq!(stem("relational"), "relate");
+        assert_eq!(stem("optimization"), "optimize");
+        assert_eq!(stem("effectiveness"), "effective");
+        assert_eq!(stem("adjustment"), "adjust");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        for w in ["a", "be", "cat", "ion"] {
+            assert_eq!(stem(w), w);
+        }
+    }
+
+    #[test]
+    fn plural_and_suffix_compose() {
+        assert_eq!(stem("databases"), "database");
+        // Plural strip then -ment rule: treatments -> treatment -> treat.
+        assert_eq!(stem("treatments"), "treat");
+        assert_eq!(stem("treatment"), "treat");
+    }
+
+    #[test]
+    fn query_document_consistency() {
+        // The core contract: any inflected form and its root stem the same.
+        let groups: &[&[&str]] = &[
+            &["tumor", "tumors"],
+            &["screening", "screenings"],
+            &["diagnosis"],
+            &["therapies"],
+        ];
+        for group in groups {
+            let stems: Vec<String> = group.iter().map(|w| stem(w)).collect();
+            for s in &stems {
+                assert_eq!(s, &stems[0], "group {group:?} produced {stems:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn idempotence_examples() {
+        for w in ["cancer", "run", "database", "optimize", "treatment"] {
+            assert_eq!(stem(&stem(w)), stem(w), "{w}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_output_is_ascii_lowercase(w in "[a-z]{1,20}") {
+            let s = stem(&w);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn prop_never_longer_than_input_plus_one(w in "[a-z]{1,20}") {
+            // Rules may append a single 'e' after truncation but never grow
+            // the word otherwise.
+            prop_assert!(stem(&w).len() <= w.len() + 1);
+        }
+
+        #[test]
+        fn prop_never_empty(w in "[a-z]{1,20}") {
+            prop_assert!(!stem(&w).is_empty());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! English stopword filtering.
+//!
+//! Hidden-Web content summaries and keyword queries both drop
+//! high-frequency function words; a query like "the breast cancer" must
+//! reduce to the informative terms before estimation (paper Section 2.2
+//! operates on "key terms" of the query).
+
+/// Compact English stopword list (sorted; binary-searched).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just",
+    "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once",
+    "only", "or", "other", "our", "ours", "out", "over", "own", "same", "she", "should", "so",
+    "some", "such", "than", "that", "the", "their", "theirs", "them", "then", "there", "these",
+    "they", "this", "those", "through", "to", "too", "under", "until", "up", "very", "was",
+    "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why", "will",
+    "with", "would", "you", "your", "yours",
+];
+
+/// True if `word` (already lowercased) is an English stopword.
+///
+/// ```
+/// use mp_text::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(!is_stopword("cancer"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Number of stopwords in the built-in list (exposed for tests/tools).
+pub fn stopword_count() -> usize {
+    STOPWORDS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{:?} >= {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "and", "of", "is", "a", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["cancer", "breast", "database", "metasearch", "medline"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        // Callers must lowercase first (tokenize already does).
+        assert!(!is_stopword("The"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Term interning: strings ⇄ dense term ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense identifier for an interned term.
+///
+/// Stored as `u32` — the synthetic vocabularies top out in the tens of
+/// thousands of terms, and postings lists hold millions of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TermId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A bidirectional term interner.
+///
+/// Interning is insertion-ordered: the first distinct term gets id 0.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    ids: HashMap<String, TermId>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary exceeds u32 ids"));
+        self.terms.push(term.to_string());
+        self.ids.insert(term.to_string(), id);
+        id
+    }
+
+    /// Looks up an already-interned term.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// The string for an id, if in range.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("cancer");
+        let b = v.intern("cancer");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), TermId(0));
+        assert_eq!(v.intern("b"), TermId(1));
+        assert_eq!(v.intern("a"), TermId(0));
+        assert_eq!(v.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("medline");
+        assert_eq!(v.term(id), Some("medline"));
+        assert_eq!(v.get("medline"), Some(id));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.term(TermId(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut v = Vocabulary::new();
+        for t in ["x", "y", "z"] {
+            v.intern(t);
+        }
+        let collected: Vec<_> = v.iter().map(|(id, t)| (id.0, t.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(0, "x".into()), (1, "y".into()), (2, "z".into())]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_many(terms in proptest::collection::vec("[a-z]{1,8}", 0..100)) {
+            let mut v = Vocabulary::new();
+            let ids: Vec<TermId> = terms.iter().map(|t| v.intern(t)).collect();
+            for (t, &id) in terms.iter().zip(&ids) {
+                prop_assert_eq!(v.term(id).unwrap(), t.as_str());
+                prop_assert_eq!(v.get(t), Some(id));
+            }
+            let distinct: std::collections::HashSet<_> = terms.iter().collect();
+            prop_assert_eq!(v.len(), distinct.len());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Query traces and train/test splits.
+
+use crate::generator::{QueryGenConfig, QueryGenerator};
+use crate::query::Query;
+use mp_corpus::TopicModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// An ordered collection of queries.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryTrace {
+    queries: Vec<Query>,
+}
+
+impl QueryTrace {
+    /// Builds a trace from queries.
+    pub fn new(queries: Vec<Query>) -> Self {
+        Self { queries }
+    }
+
+    /// The queries in order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the trace holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates the queries.
+    pub fn iter(&self) -> impl Iterator<Item = &Query> {
+        self.queries.iter()
+    }
+
+    /// Queries with exactly `n` terms.
+    pub fn with_arity(&self, n: usize) -> impl Iterator<Item = &Query> {
+        self.queries.iter().filter(move |q| q.len() == n)
+    }
+
+    /// Counts queries per arity, returned as `(arity, count)` sorted.
+    pub fn arity_histogram(&self) -> Vec<(usize, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for q in &self.queries {
+            *map.entry(q.len()).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// A disjoint train/test pair of traces, mirroring the paper's setup
+/// (Section 6.1): `Q_train` (EDs only) and `Q_test` (evaluation), each
+/// with a fixed number of 2-term and 3-term queries and **no overlap**
+/// between the two (queries compare structurally, so `a b` == `b a`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainTestSplit {
+    /// Training queries (used only to learn error distributions).
+    pub train: QueryTrace,
+    /// Held-out test queries.
+    pub test: QueryTrace,
+}
+
+impl TrainTestSplit {
+    /// Generates a disjoint split with `n_two` 2-term and `n_three`
+    /// 3-term queries in *each* side.
+    ///
+    /// Over-generates and deduplicates; if topic space is too small to
+    /// supply `2 * (n_two + n_three)` distinct queries the function
+    /// panics rather than silently violating disjointness.
+    pub fn generate(
+        model: &TopicModel,
+        n_two: usize,
+        n_three: usize,
+        config: QueryGenConfig,
+    ) -> Self {
+        let mut gen = QueryGenerator::new(model, config);
+        let mut seen: HashSet<Query> = HashSet::new();
+        let mut collect = |gen: &mut QueryGenerator<'_>, n: usize, arity: usize| -> Vec<Query> {
+            let mut out = Vec::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n {
+                let q = gen.generate(arity);
+                if seen.insert(q.clone()) {
+                    out.push(q);
+                }
+                attempts += 1;
+                assert!(
+                    attempts < n.saturating_mul(200).max(10_000),
+                    "query space too small for {n} distinct {arity}-term queries"
+                );
+            }
+            out
+        };
+
+        let train_two = collect(&mut gen, n_two, 2);
+        let train_three = collect(&mut gen, n_three, 3);
+        let test_two = collect(&mut gen, n_two, 2);
+        let test_three = collect(&mut gen, n_three, 3);
+
+        let mut train = train_two;
+        train.extend(train_three);
+        let mut test = test_two;
+        test.extend(test_three);
+        Self { train: QueryTrace::new(train), test: QueryTrace::new(test) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_corpus::TopicModelConfig;
+
+    fn model() -> TopicModel {
+        TopicModel::build(TopicModelConfig {
+            n_topics: 6,
+            terms_per_topic: 80,
+            background_terms: 60,
+            seed: 5,
+            ..TopicModelConfig::default()
+        })
+    }
+
+    #[test]
+    fn split_has_requested_shape() {
+        let m = model();
+        let s = TrainTestSplit::generate(&m, 30, 20, QueryGenConfig::default());
+        assert_eq!(s.train.len(), 50);
+        assert_eq!(s.test.len(), 50);
+        assert_eq!(s.train.arity_histogram(), vec![(2, 30), (3, 20)]);
+        assert_eq!(s.test.arity_histogram(), vec![(2, 30), (3, 20)]);
+    }
+
+    #[test]
+    fn split_is_disjoint() {
+        let m = model();
+        let s = TrainTestSplit::generate(&m, 50, 50, QueryGenConfig::default());
+        let train: HashSet<_> = s.train.iter().cloned().collect();
+        for q in s.test.iter() {
+            assert!(!train.contains(q), "{q:?} leaked from train to test");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let m = model();
+        let a = TrainTestSplit::generate(&m, 10, 10, QueryGenConfig { seed: 42, ..Default::default() });
+        let b = TrainTestSplit::generate(&m, 10, 10, QueryGenConfig { seed: 42, ..Default::default() });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn with_arity_filters() {
+        let m = model();
+        let s = TrainTestSplit::generate(&m, 5, 7, QueryGenConfig::default());
+        assert_eq!(s.train.with_arity(2).count(), 5);
+        assert_eq!(s.train.with_arity(3).count(), 7);
+        assert_eq!(s.train.with_arity(4).count(), 0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = QueryTrace::default();
+        assert!(t.is_empty());
+        assert!(t.arity_histogram().is_empty());
+    }
+}

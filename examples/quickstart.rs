@@ -1,0 +1,133 @@
+//! Quickstart: a 60-second tour of `metaprobe`.
+//!
+//! Builds a small synthetic Hidden-Web testbed, trains the
+//! probabilistic relevancy model on a query trace, and answers one
+//! query three ways — baseline estimation, RD-based selection, and
+//! certainty-controlled adaptive probing — printing what each method
+//! decides and why.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mp_core::probing::GreedyPolicy;
+use mp_core::{AproConfig, CoreConfig, CorrectnessMetric, IndependenceEstimator, Metasearcher, RelevancyDef};
+use mp_corpus::{Scenario, ScenarioConfig, ScenarioKind};
+use mp_hidden::{ContentSummary, HiddenWebDatabase, Mediator, SimulatedHiddenDb};
+use mp_workload::{QueryGenConfig, TrainTestSplit};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Synthesize a Hidden-Web testbed: 20 health-style databases
+    //    behind search interfaces (tight-knit specialists, broad science
+    //    sites, shallow news sites).
+    println!("generating a 20-database health testbed…");
+    let scenario = Scenario::generate(ScenarioConfig {
+        scale: 0.3,
+        ..ScenarioConfig::new(ScenarioKind::Health, 7)
+    });
+    let (model, parts) = scenario.into_parts();
+
+    let mut dbs: Vec<Arc<dyn HiddenWebDatabase>> = Vec::new();
+    let mut summaries = Vec::new();
+    for (spec, index) in parts {
+        summaries.push(ContentSummary::cooperative(&index));
+        dbs.push(Arc::new(SimulatedHiddenDb::new(spec.name, index)));
+    }
+    let mediator = Mediator::new(dbs, summaries);
+
+    // 2. Generate a query workload and train the error-distribution
+    //    library by sampling every database with the training half.
+    let split = TrainTestSplit::generate(&model, 300, 200, QueryGenConfig::default());
+    println!(
+        "training EDs on {} queries across {} databases…",
+        split.train.len(),
+        mediator.len()
+    );
+    let ms = Metasearcher::train(
+        mediator,
+        Box::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        split.train.queries(),
+        CoreConfig::default(),
+    );
+
+    // 3. Take one test query and answer it three ways.
+    let query = split.test.queries()[0].clone();
+    println!("\nquery: \"{}\"", query.display(model.vocab()));
+
+    // (a) Classic estimation-based selection (paper Section 2.2).
+    let baseline = ms.select_baseline(&query, 1);
+    println!(
+        "  baseline (term-independence) picks  db {:>2} ({})",
+        baseline[0],
+        ms.mediator().db(baseline[0]).name()
+    );
+
+    // (b) RD-based selection: same summaries, plus learned error
+    //     distributions — no probing (paper Section 3.3).
+    let (rd_set, certainty) = ms.select_rd(&query, 1, CorrectnessMetric::Absolute);
+    println!(
+        "  RD-based selection picks            db {:>2} ({}) with certainty {:.2}",
+        rd_set[0],
+        ms.mediator().db(rd_set[0]).name(),
+        certainty
+    );
+
+    // (c) Adaptive probing to a user-required certainty of 0.9
+    //     (paper Section 5).
+    let mut policy = GreedyPolicy;
+    let outcome = ms.select_adaptive(
+        &query,
+        AproConfig {
+            k: 1,
+            threshold: 0.9,
+            metric: CorrectnessMetric::Absolute,
+            max_probes: None,
+        },
+        &mut policy,
+    );
+    println!(
+        "  APro (t=0.90) picks                 db {:>2} ({}) with certainty {:.2} after {} probe(s)",
+        outcome.selected[0],
+        ms.mediator().db(outcome.selected[0]).name(),
+        outcome.expected,
+        outcome.n_probes()
+    );
+    for record in &outcome.probes {
+        println!(
+            "      probed db {:>2} ({}) → actual relevancy {:.0}, certainty now {:.2}",
+            record.db,
+            ms.mediator().db(record.db).name(),
+            record.actual,
+            record.expected_after
+        );
+    }
+
+    // 4. Ground truth: what was actually the most relevant database?
+    let actuals: Vec<f64> = (0..ms.mediator().len())
+        .map(|i| RelevancyDef::DocFrequency.probe(ms.mediator().db(i), &query, 0))
+        .collect();
+    let golden = mp_core::correctness::golden_topk(&actuals, 1);
+    println!(
+        "\nground truth: db {:>2} ({}) with {:.0} matching documents",
+        golden[0],
+        ms.mediator().db(golden[0]).name(),
+        actuals[golden[0]]
+    );
+    println!(
+        "  baseline {}  RD-based {}  APro {}",
+        verdict(&baseline, &golden),
+        verdict(&rd_set, &golden),
+        verdict(&outcome.selected, &golden)
+    );
+}
+
+fn verdict(selected: &[usize], golden: &[usize]) -> &'static str {
+    if selected == golden {
+        "✓"
+    } else {
+        "✗"
+    }
+}
