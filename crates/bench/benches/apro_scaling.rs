@@ -1,0 +1,148 @@
+//! APro hot-path scaling: the greedy `select_db` candidate scan on the
+//! incremental parallel engine vs the reference evaluation, at
+//! `n ∈ {16, 64, 256}` mediated databases.
+//!
+//! Besides the criterion targets, the bench writes a machine-readable
+//! `BENCH_apro.json` at the repository root recording both timings and
+//! the speedup per size — the acceptance artifact for the engine
+//! (`ISSUE`: ≥ 2× on the greedy scan at n = 256).
+
+use criterion::{black_box, criterion_group, Criterion};
+use mp_core::expected::RdState;
+use mp_core::probing::GreedyPolicy;
+use mp_core::{engine, CorrectnessMetric};
+use mp_stats::Discrete;
+use serde::Serialize;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [16, 64, 256];
+const K: usize = 1;
+const METRIC: CorrectnessMetric = CorrectnessMetric::Absolute;
+
+/// RDs shaped like real per-query state: 8-point supports with heavy
+/// cross-database overlap so the Poisson-binomial DP does real work.
+fn synthetic_state(n: usize) -> RdState {
+    let rds = (0..n)
+        .map(|i| {
+            let base = 10.0 + (i as f64) * 7.3;
+            let pts: Vec<(f64, f64)> = (0..8)
+                .map(|j| (base * (0.2 + 0.45 * j as f64), 1.0 + ((i + j) % 3) as f64))
+                .collect();
+            Discrete::from_weighted(&pts).expect("valid RD")
+        })
+        .collect();
+    RdState::new(rds)
+}
+
+/// The engine scan — what `GreedyPolicy::select_db` runs per probe.
+fn engine_scan(state: &RdState) -> Vec<(usize, f64)> {
+    engine::usefulness_all(state, K, METRIC)
+}
+
+/// The reference scan the engine replaced: one full per-candidate
+/// usefulness evaluation, sequential over candidates.
+fn reference_scan(state: &RdState) -> Vec<(usize, f64)> {
+    state
+        .unprobed()
+        .into_iter()
+        .map(|i| (i, GreedyPolicy::usefulness(state, i, K, METRIC)))
+        .collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    for n in SIZES {
+        let state = synthetic_state(n);
+        c.bench_function(&format!("apro/select_db_engine_n{n}"), |b| {
+            b.iter(|| black_box(engine_scan(&state)))
+        });
+    }
+}
+
+#[derive(Serialize)]
+struct SizeReport {
+    n: usize,
+    repeats: usize,
+    engine_ns: f64,
+    reference_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingReport {
+    bench: String,
+    k: usize,
+    metric: String,
+    support_points: usize,
+    sizes: Vec<SizeReport>,
+}
+
+/// Median wall-clock nanoseconds of `repeats` runs of `f` (after one
+/// warm-up run).
+fn median_ns<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    let (_, median, _, _) = criterion::summarize(&samples);
+    median
+}
+
+/// Head-to-head measurement written to `BENCH_apro.json`.
+fn write_scaling_report() {
+    let mut sizes = Vec::new();
+    for n in SIZES {
+        let state = synthetic_state(n);
+        let repeats = if n >= 256 { 3 } else { 7 };
+        // Checksum parity guards against benchmarking diverging code.
+        let e: f64 = engine_scan(&state).iter().map(|&(_, u)| u).sum();
+        let r: f64 = reference_scan(&state).iter().map(|&(_, u)| u).sum();
+        assert!(
+            (e - r).abs() < 1e-9 * (1.0 + r.abs()),
+            "engine and reference scans disagree at n={n}: {e} vs {r}"
+        );
+        let engine_ns = median_ns(repeats, || engine_scan(&state));
+        let reference_ns = median_ns(repeats, || reference_scan(&state));
+        let speedup = reference_ns / engine_ns;
+        eprintln!(
+            "apro_scaling n={n}: engine {:.3} ms, reference {:.3} ms, speedup {speedup:.1}x",
+            engine_ns / 1e6,
+            reference_ns / 1e6
+        );
+        sizes.push(SizeReport {
+            n,
+            repeats,
+            engine_ns,
+            reference_ns,
+            speedup,
+        });
+    }
+    let report = ScalingReport {
+        bench: "greedy select_db candidate scan".to_string(),
+        k: K,
+        metric: METRIC.to_string(),
+        support_points: 8,
+        sizes,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apro.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("BENCH_apro.json written");
+    eprintln!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_scaling
+}
+
+fn main() {
+    benches();
+    write_scaling_report();
+}

@@ -78,8 +78,34 @@ fn bench_greedy(c: &mut Criterion) {
     let costs = mp_core::probing::ProbeCosts::new((1..=20).map(|i| i as f64).collect());
     let policy = mp_core::probing::CostAwareGreedyPolicy::new(costs);
     c.bench_function("greedy/cost_aware_gain_one_db_n20", |b| {
+        b.iter(|| black_box(policy.gain_per_cost(&state, 0, 1, CorrectnessMetric::Absolute)))
+    });
+
+    // The full per-step candidate scan on the incremental parallel
+    // engine vs the reference evaluation it replaces.
+    c.bench_function("greedy/select_db_engine_n20", |b| {
         b.iter(|| {
-            black_box(policy.gain_per_cost(&state, 0, 1, CorrectnessMetric::Absolute))
+            black_box(mp_core::engine::usefulness_all(
+                &state,
+                1,
+                CorrectnessMetric::Absolute,
+            ))
+        })
+    });
+    c.bench_function("greedy/select_db_reference_n20", |b| {
+        b.iter(|| {
+            black_box(
+                state
+                    .unprobed()
+                    .into_iter()
+                    .map(|i| {
+                        (
+                            i,
+                            GreedyPolicy::usefulness(&state, i, 1, CorrectnessMetric::Absolute),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
         })
     });
 }

@@ -10,11 +10,11 @@
 //! keeping every experiment's shape — useful for smoke runs and CI.
 
 use mp_bench::{optimal_policy_testbed, paper_sampling_config};
+use mp_core::CorrectnessMetric;
 use mp_eval::experiments::ablations::{
     render_policy_ablation, render_relevancy_ablation, render_summary_ablation,
     render_theta_ablation, render_training_size_ablation, run_policy_ablation,
-    run_relevancy_ablation, run_summary_ablation, run_theta_ablation,
-    run_training_size_ablation,
+    run_relevancy_ablation, run_summary_ablation, run_theta_ablation, run_training_size_ablation,
 };
 use mp_eval::experiments::fig15_selection::{render_fig15, run_fig15};
 use mp_eval::experiments::fig16_probing::{render_fig16, run_fig16};
@@ -25,7 +25,6 @@ use mp_eval::experiments::fig9_query_types::{render_fig9, run_fig9};
 use mp_eval::report::to_json;
 use mp_eval::runner::evaluate_baseline;
 use mp_eval::{SummaryMode, Testbed, TestbedConfig};
-use mp_core::CorrectnessMetric;
 use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -51,9 +50,19 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--exp" => args.exp = it.next().expect("--exp needs a value"),
-            "--seed" => args.seed = it.next().expect("--seed needs a value").parse().expect("seed"),
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed")
+            }
             "--scale" => {
-                args.scale = it.next().expect("--scale needs a value").parse().expect("scale")
+                args.scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("scale")
             }
             "--quick" => args.quick = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
@@ -80,7 +89,10 @@ struct Reporter {
 impl Reporter {
     fn new(out_dir: PathBuf) -> Self {
         std::fs::create_dir_all(&out_dir).expect("create output dir");
-        Self { out_dir, combined: String::new() }
+        Self {
+            out_dir,
+            combined: String::new(),
+        }
     }
 
     fn section(&mut self, name: &str, text: &str, json: Option<String>) {
@@ -116,7 +128,10 @@ fn main() {
             cfg.sizes = vec![50, 100, 200, 400];
             cfg.repetitions = 5;
         }
-        eprintln!("[{:>6.1?}] running sampling study (Figs. 7/8)…", t0.elapsed());
+        eprintln!(
+            "[{:>6.1?}] running sampling study (Figs. 7/8)…",
+            t0.elapsed()
+        );
         let result = run_sampling_study(&cfg);
         if want("fig7") {
             reporter.section("fig7", &render_fig7(&result, 6), Some(to_json(&result)));
@@ -132,9 +147,19 @@ fn main() {
     }
 
     // --- The main testbed (Figs. 9, 15, 16, 17, ablations) -----------
-    let needs_testbed = ["fig9", "fig15", "fig16", "fig17", "policies", "threshold", "training", "summaries", "relevancy"]
-        .iter()
-        .any(|e| want(e));
+    let needs_testbed = [
+        "fig9",
+        "fig15",
+        "fig16",
+        "fig17",
+        "policies",
+        "threshold",
+        "training",
+        "summaries",
+        "relevancy",
+    ]
+    .iter()
+    .any(|e| want(e));
     if !needs_testbed {
         reporter.finish();
         return;
@@ -219,17 +244,22 @@ fn main() {
         let mut sim_cfg = cfg.clone();
         sim_cfg.relevancy = mp_core::RelevancyDef::DocSimilarity;
         sim_cfg.core = sim_cfg.core.with_threshold(0.6); // similarities ∈ [0, 1]
-        let sim_tb = Testbed::build_with_estimator(
-            sim_cfg,
-            Box::new(mp_core::MaxSimilarityEstimator),
-        );
+        let sim_tb =
+            Testbed::build_with_estimator(sim_cfg, Box::new(mp_core::MaxSimilarityEstimator));
         let r = run_relevancy_ablation(&tb, &sim_tb);
-        reporter.section("relevancy", &render_relevancy_ablation(&r), Some(to_json(&r)));
+        reporter.section(
+            "relevancy",
+            &render_relevancy_ablation(&r),
+            Some(to_json(&r)),
+        );
     }
     if want("summaries") {
         eprintln!("[{:>6.1?}] A4 (summary quality)…", t0.elapsed());
         let mut sampled_cfg = cfg.clone();
-        sampled_cfg.summaries = SummaryMode::Sampled { n_queries: 120, docs_per_query: 40 };
+        sampled_cfg.summaries = SummaryMode::Sampled {
+            n_queries: 120,
+            docs_per_query: 40,
+        };
         let sampled = Testbed::build(sampled_cfg);
         let r = run_summary_ablation(&tb, &sampled);
         reporter.section("summaries", &render_summary_ablation(&r), Some(to_json(&r)));

@@ -37,7 +37,10 @@ pub fn bench_testbed(seed: u64) -> Testbed {
         core: CoreConfig::default().with_threshold(2.0),
         relevancy: mp_core::RelevancyDef::DocFrequency,
         summaries: mp_eval::SummaryMode::Cooperative,
-        workload: QueryGenConfig { seed: seed ^ 0x51_7e_a5, ..QueryGenConfig::default() },
+        workload: QueryGenConfig {
+            seed: seed ^ 0x51_7e_a5,
+            ..QueryGenConfig::default()
+        },
     };
     Testbed::build(cfg)
 }

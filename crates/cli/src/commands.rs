@@ -1,7 +1,9 @@
 //! The CLI commands, as testable functions returning their output text.
 
 use crate::state::{self, StateConfig, StateError};
-use mp_core::probing::{ByEstimatePolicy, GreedyPolicy, ProbePolicy, RandomPolicy, UncertaintyPolicy};
+use mp_core::probing::{
+    ByEstimatePolicy, GreedyPolicy, ProbePolicy, RandomPolicy, UncertaintyPolicy,
+};
 use mp_core::rd::derive_all_rds;
 use mp_core::selection::{baseline_select, best_set};
 use mp_core::{AproConfig, CorrectnessMetric, EdLibrary, Metasearcher, RelevancyDef};
@@ -70,14 +72,20 @@ pub fn run_info(dir: &Path) -> Result<String, StateError> {
             .unwrap_or_else(|| "-".to_string());
         table.row(&[
             db.name().to_string(),
-            db.size_hint().map(|s| s.to_string()).unwrap_or_else(|| "?".into()),
+            db.size_hint()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "?".into()),
             leaves,
         ]);
     }
     let mut out = table.render();
     out.push_str(&format!(
         "model: {}\n",
-        if st.trained.is_some() { "trained (library.json)" } else { "untrained — run `metaprobe train`" }
+        if st.trained.is_some() {
+            "trained (library.json)"
+        } else {
+            "untrained — run `metaprobe train`"
+        }
     ));
     Ok(out)
 }
@@ -126,7 +134,10 @@ pub fn run_query(
     let baseline = ms.select_baseline(&query, k);
     out.push_str(&format!(
         "baseline would pick: {:?}\n",
-        baseline.iter().map(|&i| ms.mediator().db(i).name()).collect::<Vec<_>>()
+        baseline
+            .iter()
+            .map(|&i| ms.mediator().db(i).name())
+            .collect::<Vec<_>>()
     ));
 
     let result = ms.search(
@@ -192,7 +203,10 @@ pub fn run_eval(dir: &Path, k: usize) -> Result<String, StateError> {
     }
     let n = queries.len() as f64;
     let mut table = TextTable::new(
-        format!("held-out evaluation (k={k}, {} queries, partial correctness)", queries.len()),
+        format!(
+            "held-out evaluation (k={k}, {} queries, partial correctness)",
+            queries.len()
+        ),
         &["method", "Avg(Cor_p)"],
     );
     table.row(&["baseline".into(), fmt3(base_ok / n)]);

@@ -71,7 +71,9 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), Strin
             "--text" => opts.text = Some(value()?),
             "--k" => opts.k = value()?.parse().map_err(|e| format!("bad k: {e}"))?,
             "--threshold" => {
-                opts.threshold = value()?.parse().map_err(|e| format!("bad threshold: {e}"))?
+                opts.threshold = value()?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?
             }
             "--policy" => opts.policy = value()?,
             "--help" | "-h" => return Err(USAGE.to_string()),

@@ -32,7 +32,10 @@ impl StateConfig {
         Self {
             scenario,
             core: CoreConfig::default().with_threshold(0.5),
-            workload: QueryGenConfig { seed: seed ^ 0x51_7e_a5, ..QueryGenConfig::default() },
+            workload: QueryGenConfig {
+                seed: seed ^ 0x51_7e_a5,
+                ..QueryGenConfig::default()
+            },
             n_two: 300,
             n_three: 200,
         }
@@ -85,10 +88,18 @@ impl std::fmt::Display for StateError {
             StateError::Io(e) => write!(f, "i/o error: {e}"),
             StateError::Format(e) => write!(f, "config format error: {e}"),
             StateError::NotInitialized(p) => {
-                write!(f, "{} has no config.json — run `metaprobe generate` first", p.display())
+                write!(
+                    f,
+                    "{} has no config.json — run `metaprobe generate` first",
+                    p.display()
+                )
             }
             StateError::NotTrained(p) => {
-                write!(f, "{} has no library.json — run `metaprobe train` first", p.display())
+                write!(
+                    f,
+                    "{} has no library.json — run `metaprobe train` first",
+                    p.display()
+                )
             }
         }
     }
@@ -143,13 +154,20 @@ pub fn load_state(dir: &Path) -> Result<CliState, StateError> {
     } else {
         None
     };
-    Ok(CliState { dir: dir.to_path_buf(), config, testbed, trained })
+    Ok(CliState {
+        dir: dir.to_path_buf(),
+        config,
+        testbed,
+        trained,
+    })
 }
 
 impl CliState {
     /// The persisted library, or an error directing the user to train.
     pub fn library(&self) -> Result<&EdLibrary, StateError> {
-        self.trained.as_ref().ok_or_else(|| StateError::NotTrained(self.dir.clone()))
+        self.trained
+            .as_ref()
+            .ok_or_else(|| StateError::NotTrained(self.dir.clone()))
     }
 }
 
@@ -201,7 +219,10 @@ mod tests {
         save_config(&dir, &tiny_config()).unwrap();
         let a = load_state(&dir).unwrap();
         let b = load_state(&dir).unwrap();
-        assert_eq!(a.testbed.split.test.queries(), b.testbed.split.test.queries());
+        assert_eq!(
+            a.testbed.split.test.queries(),
+            b.testbed.split.test.queries()
+        );
         let q = &a.testbed.split.test.queries()[0];
         assert_eq!(a.testbed.estimates(q), b.testbed.estimates(q));
         std::fs::remove_dir_all(&dir).ok();

@@ -61,7 +61,10 @@ impl CoreConfig {
     /// A config with a full threshold ladder (ascending).
     pub fn with_thresholds(mut self, thetas: Vec<f64>) -> Self {
         assert!(!thetas.is_empty(), "need at least one threshold");
-        assert!(thetas.windows(2).all(|w| w[0] < w[1]), "thresholds must ascend");
+        assert!(
+            thetas.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must ascend"
+        );
         self.coverage_thresholds = thetas;
         self
     }

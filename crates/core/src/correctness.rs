@@ -57,18 +57,32 @@ impl CorrectnessMetric {
     }
 }
 
+/// The library-wide rank order on `(index, relevancy)` outcomes:
+/// `Ordering::Less` when `(i, vi)` ranks strictly ahead of `(j, vj)` —
+/// higher relevancy first, equal relevancies rank the lower index first.
+///
+/// This single helper defines the tie-break **everywhere** it matters —
+/// the golden top-k, the exact beat-probabilities behind `E[Cor]`
+/// (`expected::prob_beats`), and the probing engine's hypothetical-probe
+/// patches — so the realized relevancies always induce one consistent
+/// total order and the exact formulas stay aligned with the Monte-Carlo
+/// oracle.
+///
+/// # Panics
+/// Panics if either relevancy is NaN (relevancies are finite by
+/// construction).
+pub fn rank_order(i: usize, vi: f64, j: usize, vj: f64) -> std::cmp::Ordering {
+    vj.partial_cmp(&vi)
+        .expect("relevancies are finite")
+        .then(i.cmp(&j))
+}
+
 /// The true top-k databases given every database's actual relevancy,
-/// under the library's tie-break order (higher relevancy first; equal
-/// relevancies rank the lower index first).
+/// under [`rank_order`].
 pub fn golden_topk(actuals: &[f64], k: usize) -> Vec<usize> {
     assert!(k >= 1 && k <= actuals.len(), "k out of range");
     let mut order: Vec<usize> = (0..actuals.len()).collect();
-    order.sort_by(|&a, &b| {
-        actuals[b]
-            .partial_cmp(&actuals[a])
-            .expect("relevancies are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| rank_order(a, actuals[a], b, actuals[b]));
     order.truncate(k);
     order
 }
@@ -110,6 +124,17 @@ mod tests {
         assert_eq!(golden_topk(&actuals, 1), vec![1]);
         assert_eq!(golden_topk(&actuals, 2), vec![1, 2]); // tie: lower idx
         assert_eq!(golden_topk(&actuals, 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn rank_order_is_a_strict_total_order() {
+        use std::cmp::Ordering;
+        assert_eq!(rank_order(0, 9.0, 1, 5.0), Ordering::Less);
+        assert_eq!(rank_order(1, 5.0, 0, 9.0), Ordering::Greater);
+        // Equal values: lower index wins, never Equal for distinct dbs.
+        assert_eq!(rank_order(0, 7.0, 1, 7.0), Ordering::Less);
+        assert_eq!(rank_order(1, 7.0, 0, 7.0), Ordering::Greater);
+        assert_eq!(rank_order(2, 7.0, 2, 7.0), Ordering::Equal);
     }
 
     #[test]

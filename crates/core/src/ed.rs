@@ -23,7 +23,9 @@ pub struct ErrorDistribution {
 impl ErrorDistribution {
     /// An empty ED over the config's bins.
     pub fn new(config: &CoreConfig) -> Self {
-        Self { hist: Histogram::new(config.ed_bins()) }
+        Self {
+            hist: Histogram::new(config.ed_bins()),
+        }
     }
 
     /// Records one observed error.
@@ -61,47 +63,20 @@ impl ErrorDistribution {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EdLibrary {
     /// `per_db[i]` maps query types to their ED on database `i`.
-    /// Serialized as pair lists: JSON object keys must be strings, and
-    /// [`QueryType`] is a struct.
-    #[serde(with = "qt_map_list")]
+    /// Maps serialize as sorted `[key, value]` pair arrays (JSON object
+    /// keys must be strings, and [`QueryType`] is a struct), so the
+    /// output is deterministic without an adapter.
     per_db: Vec<HashMap<QueryType, ErrorDistribution>>,
     config: CoreConfig,
-}
-
-/// Serde adapter: `Vec<HashMap<QueryType, ED>>` ⇄ `Vec<Vec<(QueryType, ED)>>`,
-/// with deterministic (sorted) pair order for stable output.
-mod qt_map_list {
-    use super::{ErrorDistribution, QueryType};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-
-    pub fn serialize<S: Serializer>(
-        maps: &[HashMap<QueryType, ErrorDistribution>],
-        serializer: S,
-    ) -> Result<S::Ok, S::Error> {
-        let lists: Vec<Vec<(&QueryType, &ErrorDistribution)>> = maps
-            .iter()
-            .map(|m| {
-                let mut pairs: Vec<_> = m.iter().collect();
-                pairs.sort_by_key(|&(qt, _)| *qt);
-                pairs
-            })
-            .collect();
-        lists.serialize(serializer)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        deserializer: D,
-    ) -> Result<Vec<HashMap<QueryType, ErrorDistribution>>, D::Error> {
-        let lists: Vec<Vec<(QueryType, ErrorDistribution)>> = Vec::deserialize(deserializer)?;
-        Ok(lists.into_iter().map(|l| l.into_iter().collect()).collect())
-    }
 }
 
 impl EdLibrary {
     /// An empty library for `n_databases` databases.
     pub fn empty(n_databases: usize, config: CoreConfig) -> Self {
-        Self { per_db: vec![HashMap::new(); n_databases], config }
+        Self {
+            per_db: vec![HashMap::new(); n_databases],
+            config,
+        }
     }
 
     /// Trains EDs by sampling every mediated database with every
@@ -223,9 +198,18 @@ mod tests {
         lib.record(0, 2, 500.0, 250.0); // 2-term, high coverage
         lib.record(1, 3, 10.0, 0.0); // 3-term, low coverage (db 1)
 
-        let low2 = QueryType { arity: ArityBucket::Two, coverage: 0 };
-        let high2 = QueryType { arity: ArityBucket::Two, coverage: 1 };
-        let low3 = QueryType { arity: ArityBucket::ThreeUp, coverage: 0 };
+        let low2 = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 0,
+        };
+        let high2 = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 1,
+        };
+        let low3 = QueryType {
+            arity: ArityBucket::ThreeUp,
+            coverage: 0,
+        };
 
         assert_eq!(lib.ed(0, low2).unwrap().samples(), 1);
         assert_eq!(lib.ed(0, high2).unwrap().samples(), 1);
@@ -238,7 +222,10 @@ mod tests {
     fn fallback_chain_finds_sibling() {
         let mut lib = EdLibrary::empty(1, config());
         lib.record(0, 2, 500.0, 250.0); // only the high-coverage leaf trained
-        let low2 = QueryType { arity: ArityBucket::Two, coverage: 0 };
+        let low2 = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 0,
+        };
         assert!(lib.ed(0, low2).is_none());
         assert!(lib.ed_or_fallback(0, low2).is_some());
     }
@@ -246,7 +233,10 @@ mod tests {
     #[test]
     fn no_training_no_fallback() {
         let lib = EdLibrary::empty(1, config());
-        let qt = QueryType { arity: ArityBucket::Two, coverage: 0 };
+        let qt = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 0,
+        };
         assert!(lib.ed_or_fallback(0, qt).is_none());
     }
 

@@ -33,7 +33,11 @@ pub fn relative_error(actual: f64, estimate: f64, est_floor: f64) -> f64 {
 
 /// Builds an [`ErrorRecord`].
 pub fn record(actual: f64, estimate: f64, est_floor: f64) -> ErrorRecord {
-    ErrorRecord { estimate, actual, error: relative_error(actual, estimate, est_floor) }
+    ErrorRecord {
+        estimate,
+        actual,
+        error: relative_error(actual, estimate, est_floor),
+    }
 }
 
 #[cfg(test)]

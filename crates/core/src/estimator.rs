@@ -148,7 +148,10 @@ mod tests {
     fn empty_database_estimates_zero() {
         let s = summary(0, &[]);
         assert_eq!(IndependenceEstimator.estimate(&s, &Query::new([t(0)])), 0.0);
-        assert_eq!(MaxSimilarityEstimator.estimate(&s, &Query::new([t(0)])), 0.0);
+        assert_eq!(
+            MaxSimilarityEstimator.estimate(&s, &Query::new([t(0)])),
+            0.0
+        );
     }
 
     #[test]

@@ -74,8 +74,34 @@ impl RdState {
 
     /// Records a probe outcome: database `i`'s RD becomes an impulse at
     /// the observed actual relevancy (paper Section 3.4, Figure 5(e)).
+    ///
+    /// Input policy (deliberately `Result`-free): every probe outcome in
+    /// the library flows from a [`crate::relevancy::RelevancyDef`]
+    /// measurement, which is finite and non-negative by construction, so
+    /// a `Result` here would force error plumbing through `APro`, every
+    /// probing policy, and the experiment harness for a state that
+    /// cannot arise from correct callers. Instead:
+    ///
+    /// * **Negative values** are clamped to `0.0` — relevancy is a count
+    ///   (documents matched / top-n sum), so a caller-fabricated
+    ///   negative means "nothing matched", and clamping keeps every
+    ///   downstream expectation a probability.
+    /// * **NaN** is a programming error, not a data condition: it is
+    ///   rejected by a debug assertion, and release builds degrade it to
+    ///   the same `0.0` floor rather than silently poisoning every
+    ///   subsequent `E[Cor]` comparison (NaN breaks the total rank
+    ///   order).
     pub fn probe(&mut self, i: usize, actual: f64) {
-        self.rds[i] = Discrete::impulse(actual.max(0.0));
+        debug_assert!(
+            !actual.is_nan(),
+            "probe outcome for database {i} is NaN; relevancies are finite by construction"
+        );
+        let floored = if actual.is_nan() {
+            0.0
+        } else {
+            actual.max(0.0)
+        };
+        self.rds[i] = Discrete::impulse(floored);
         self.probed[i] = true;
     }
 
@@ -89,11 +115,18 @@ impl RdState {
 }
 
 /// P(database `j`'s relevancy beats the fixed outcome `(v, i)`) under
-/// the tie-break order: `j` beats `i` at equal values iff `j < i`.
-fn prob_beats(rds: &[Discrete], j: usize, v: f64, i: usize) -> f64 {
+/// the library-wide rank order ([`crate::correctness::rank_order`]):
+/// `j` beats `(v, i)` at value `u` iff `(j, u)` ranks ahead of `(v, i)`,
+/// i.e. `u > v`, or `u = v` and `j < i`. Shared by the exact formulas
+/// here and by the probing engine's leave-one-out patches, so every
+/// consumer breaks ties identically to [`crate::correctness::golden_topk`].
+pub(crate) fn prob_beats(rds: &[Discrete], j: usize, v: f64, i: usize) -> f64 {
     debug_assert_ne!(j, i);
+    use std::cmp::Ordering;
     let d = &rds[j];
-    if j < i {
+    // A tie at `v` counts as a win for `j` exactly when the rank order
+    // places `(j, v)` ahead of `(i, v)`.
+    if crate::correctness::rank_order(j, v, i, v) == Ordering::Less {
         (d.prob_gt(v) + d.prob_eq(v)).min(1.0)
     } else {
         d.prob_gt(v)
@@ -321,6 +354,32 @@ mod tests {
     }
 
     #[test]
+    fn probe_floors_negative_outcomes_at_zero() {
+        // The documented clamp policy: a (caller-fabricated) negative
+        // relevancy means "nothing matched" and lands at exactly 0.
+        let mut state = RdState::new(paper_rds());
+        state.probe(0, -3.5);
+        assert!(state.rds()[0].is_impulse());
+        assert_eq!(state.rds()[0].mean(), 0.0);
+        // -0.0 normalizes to the same impulse; +0.0 passes through.
+        let mut state = RdState::new(paper_rds());
+        state.probe(0, -0.0);
+        assert_eq!(state.rds()[0].mean(), 0.0);
+        let mut state = RdState::new(paper_rds());
+        state.probe(1, 0.0);
+        assert_eq!(state.rds()[1].mean(), 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "NaN"))]
+    fn probe_rejects_nan_in_debug() {
+        let mut state = RdState::new(paper_rds());
+        state.probe(0, f64::NAN);
+        // Release builds degrade NaN to the 0.0 floor instead.
+        assert_eq!(state.rds()[0].mean(), 0.0);
+    }
+
+    #[test]
     fn hypothetical_probe_does_not_mutate() {
         let state = RdState::new(paper_rds());
         let hyp = state.with_hypothetical(0, 150.0);
@@ -381,6 +440,41 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let mc = monte_carlo_expected(&rds, &set, CorrectnessMetric::Partial, 20_000, &mut rng);
             prop_assert!((exact - mc).abs() < 0.02, "exact={}, mc={}", exact, mc);
+        }
+
+        #[test]
+        fn prop_tie_break_exact_matches_monte_carlo(
+            // Integer-valued supports on a 4-value grid, so cross-database
+            // value ties occur in most sampled outcomes: this pins the
+            // shared `rank_order` tie-break ("equal value → lower index
+            // wins") used by both the exact formulas and `golden_topk`
+            // inside the Monte-Carlo oracle.
+            grids in proptest::collection::vec(
+                proptest::collection::vec((0u8..4, 0.05f64..1.0), 1..4),
+                2..5
+            ),
+            k_raw in 1usize..3,
+            seed in 0u64..1000
+        ) {
+            let rds: Vec<Discrete> = grids
+                .into_iter()
+                .map(|pts| {
+                    let pts: Vec<(f64, f64)> =
+                        pts.into_iter().map(|(v, p)| (v as f64, p)).collect();
+                    Discrete::from_weighted(&pts).unwrap()
+                })
+                .collect();
+            let k = k_raw.min(rds.len());
+            let set: Vec<usize> = (0..k).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for metric in [CorrectnessMetric::Absolute, CorrectnessMetric::Partial] {
+                let exact = expected_correctness(&rds, &set, metric);
+                let mc = monte_carlo_expected(&rds, &set, metric, 20_000, &mut rng);
+                prop_assert!(
+                    (exact - mc).abs() < 0.02,
+                    "{:?}: exact={}, mc={}", metric, exact, mc
+                );
+            }
         }
 
         #[test]

@@ -29,16 +29,16 @@ pub struct FusedHit {
 pub fn fuse(responses: &[(usize, SearchResponse)], limit: usize) -> Vec<FusedHit> {
     let mut hits = Vec::new();
     for (db, resp) in responses {
-        let max = resp
-            .top_docs
-            .iter()
-            .map(|d| d.score)
-            .fold(0.0f64, f64::max);
+        let max = resp.top_docs.iter().map(|d| d.score).fold(0.0f64, f64::max);
         if max <= 0.0 {
             continue;
         }
         for d in &resp.top_docs {
-            hits.push(FusedHit { db: *db, doc: d.doc, score: d.score / max });
+            hits.push(FusedHit {
+                db: *db,
+                doc: d.doc,
+                score: d.score / max,
+            });
         }
     }
     hits.sort_by(|a, b| {
@@ -63,7 +63,10 @@ mod tests {
             top_docs: scores
                 .iter()
                 .enumerate()
-                .map(|(i, &s)| ScoredDoc { doc: DocId(i as u32), score: s })
+                .map(|(i, &s)| ScoredDoc {
+                    doc: DocId(i as u32),
+                    score: s,
+                })
                 .collect(),
         }
     }
@@ -96,10 +99,7 @@ mod tests {
 
     #[test]
     fn output_is_sorted_descending() {
-        let fused = fuse(
-            &[(0, resp(&[0.9, 0.3])), (1, resp(&[0.8, 0.2, 0.6]))],
-            10,
-        );
+        let fused = fuse(&[(0, resp(&[0.9, 0.3])), (1, resp(&[0.8, 0.2, 0.6]))], 10);
         for w in fused.windows(2) {
             assert!(w[0].score >= w[1].score);
         }

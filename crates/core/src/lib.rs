@@ -29,11 +29,13 @@
 pub mod config;
 pub mod correctness;
 pub mod ed;
+pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod expected;
 pub mod fusion;
 pub mod metasearcher;
+pub mod par;
 pub mod persist;
 pub mod probing;
 pub mod query_type;
@@ -42,7 +44,7 @@ pub mod relevancy;
 pub mod selection;
 
 pub use config::CoreConfig;
-pub use correctness::{absolute_correctness, partial_correctness, CorrectnessMetric};
+pub use correctness::{absolute_correctness, partial_correctness, rank_order, CorrectnessMetric};
 pub use ed::{EdLibrary, ErrorDistribution};
 pub use estimator::{IndependenceEstimator, MaxSimilarityEstimator, RelevancyEstimator};
 pub use expected::{expected_absolute, expected_partial, marginal_topk_prob, RdState};

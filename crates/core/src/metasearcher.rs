@@ -1,5 +1,11 @@
 //! The metasearcher facade: train once, then answer queries with
 //! certainty-controlled database selection and result fusion.
+//!
+//! Query-time selection ([`Metasearcher::select_rd`],
+//! [`Metasearcher::select_adaptive`], [`Metasearcher::search`]) runs on
+//! the parallel incremental evaluation engine ([`crate::engine`],
+//! [`crate::par`]); the facade adds no threading of its own, so results
+//! are identical with or without the `parallel` feature.
 
 use crate::config::CoreConfig;
 use crate::correctness::CorrectnessMetric;
@@ -60,7 +66,12 @@ impl Metasearcher {
     ) -> Self {
         let library = EdLibrary::train(&mediator, estimator.as_ref(), def, train_queries, &config);
         mediator.reset_probes();
-        Self { mediator, estimator, def, library }
+        Self {
+            mediator,
+            estimator,
+            def,
+            library,
+        }
     }
 
     /// Assembles a metasearcher around a pre-trained library (used by
@@ -76,7 +87,12 @@ impl Metasearcher {
             library.n_databases(),
             "library does not cover the mediated databases"
         );
-        Self { mediator, estimator, def, library }
+        Self {
+            mediator,
+            estimator,
+            def,
+            library,
+        }
     }
 
     /// The mediated databases.
@@ -113,7 +129,12 @@ impl Metasearcher {
 
     /// RD-based selection with no probing (paper Section 3.3), returning
     /// the set and its expected correctness.
-    pub fn select_rd(&self, query: &Query, k: usize, metric: CorrectnessMetric) -> (Vec<usize>, f64) {
+    pub fn select_rd(
+        &self,
+        query: &Query,
+        k: usize,
+        metric: CorrectnessMetric,
+    ) -> (Vec<usize>, f64) {
         best_set(&self.rds(query), k, metric)
     }
 
@@ -127,8 +148,7 @@ impl Metasearcher {
     ) -> AproOutcome {
         let mut state = RdState::new(self.rds(query));
         let probe_top_n = self.library.config().probe_top_n;
-        let mut probe_fn =
-            |i: usize| self.def.probe(self.mediator.db(i), query, probe_top_n);
+        let mut probe_fn = |i: usize| self.def.probe(self.mediator.db(i), query, probe_top_n);
         apro(&mut state, config, policy, &mut probe_fn)
     }
 
@@ -150,7 +170,11 @@ impl Metasearcher {
             .map(|&i| (i, self.mediator.db(i).search(query.terms(), top_n)))
             .collect();
         let hits = fuse(&responses, fuse_limit);
-        MetasearchResult { probes_used: outcome.n_probes(), outcome, hits }
+        MetasearchResult {
+            probes_used: outcome.n_probes(),
+            outcome,
+            hits,
+        }
     }
 }
 

@@ -1,0 +1,81 @@
+//! The parallel evaluation layer: a tiny order-preserving fork-join map
+//! used to fan the APro hot loops — greedy per-candidate usefulness
+//! scans and per-database marginal computations — across cores.
+//!
+//! Gated behind the `parallel` feature (on by default). The sequential
+//! fallback is **bit-identical**: both paths evaluate the same closure
+//! on the same indices and collect results in index order, so every
+//! reduction downstream (argmax, sort, sum) sees the exact same `f64`s
+//! regardless of thread count or feature flags. Determinism therefore
+//! never depends on scheduling.
+
+/// Maps `f` over `0..n`, preserving order. With the `parallel` feature
+/// the work is chunked over scoped threads once it is plausibly worth a
+/// fork-join (`n ≥ min_chunk`); small inputs and `--no-default-features`
+/// builds run the plain sequential loop.
+///
+/// Panics in `f` propagate (scoped threads re-raise on join).
+pub fn par_map_indexed<T, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads > 1 && n >= min_chunk.max(2) {
+            let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (c, slot) in results.chunks_mut(chunk).enumerate() {
+                    let f = &f;
+                    scope.spawn(move || {
+                        for (off, out) in slot.iter_mut().enumerate() {
+                            *out = Some(f(c * chunk + off));
+                        }
+                    });
+                }
+            });
+            return results
+                .into_iter()
+                .map(|o| o.expect("all slots filled"))
+                .collect();
+        }
+    }
+    let _ = min_chunk;
+    (0..n).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_indices() {
+        for n in [0usize, 1, 7, 8, 100] {
+            let out = par_map_indexed(n, 2, |i| i * 3);
+            assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn matches_sequential_bitwise_on_float_work() {
+        // The parallel path must return the very same f64 bit patterns
+        // as a plain map — the engine's determinism contract.
+        let work = |i: usize| {
+            let mut acc = 0.0f64;
+            for j in 0..50 {
+                acc += ((i * 31 + j) as f64).sqrt() * 1e-3;
+            }
+            acc
+        };
+        let par = par_map_indexed(64, 2, work);
+        let seq: Vec<f64> = (0..64).map(work).collect();
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -39,7 +39,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Format(e) => write!(f, "format error: {e}"),
             PersistError::Version { found, supported } => {
-                write!(f, "unsupported library version {found} (this build reads {supported})")
+                write!(
+                    f,
+                    "unsupported library version {found} (this build reads {supported})"
+                )
             }
         }
     }
@@ -160,7 +163,10 @@ mod tests {
         let json = library_to_json(&lib).unwrap();
         let bumped = json.replacen("\"version\":1", "\"version\":99", 1);
         match library_from_json(&bumped) {
-            Err(PersistError::Version { found: 99, supported: 1 }) => {}
+            Err(PersistError::Version {
+                found: 99,
+                supported: 1,
+            }) => {}
             other => panic!("expected version error, got {other:?}"),
         }
     }
@@ -193,7 +199,10 @@ mod tests {
             assert_eq!(lib.classify(n_terms, est), back.classify(n_terms, est));
         }
         // And derives identical RDs through the public path.
-        let qt = QueryType { arity: ArityBucket::Two, coverage: 1 };
+        let qt = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 1,
+        };
         assert_eq!(
             lib.ed_or_fallback(0, qt).map(|e| e.to_discrete()),
             back.ed_or_fallback(0, qt).map(|e| e.to_discrete())

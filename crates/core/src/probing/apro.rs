@@ -1,4 +1,12 @@
 //! The `APro` adaptive probing algorithm (paper Section 5.3, Figure 11).
+//!
+//! Both per-step evaluations run on the parallel incremental engine:
+//! the policy's `select_db` scores candidates through
+//! [`crate::engine::usefulness_all`] (greedy), and the post-probe
+//! re-selection's [`best_set`] fans its per-database marginals across
+//! cores ([`crate::par`]). `APro` itself stays a straight-line loop —
+//! determinism and the paper's control flow are untouched by either
+//! optimisation.
 
 use crate::correctness::CorrectnessMetric;
 use crate::expected::RdState;
@@ -113,7 +121,12 @@ pub fn apro(
         let (sel, exp) = best_set(state.rds(), config.k, config.metric);
         selected = sel.clone();
         expected = exp;
-        probes.push(ProbeRecord { db, actual, selected_after: sel, expected_after: exp });
+        probes.push(ProbeRecord {
+            db,
+            actual,
+            selected_after: sel,
+            expected_after: exp,
+        });
     }
 
     AproOutcome {
@@ -146,7 +159,12 @@ mod tests {
     }
 
     fn cfg(k: usize, t: f64) -> AproConfig {
-        AproConfig { k, threshold: t, metric: CorrectnessMetric::Absolute, max_probes: None }
+        AproConfig {
+            k,
+            threshold: t,
+            metric: CorrectnessMetric::Absolute,
+            max_probes: None,
+        }
     }
 
     #[test]
@@ -190,7 +208,10 @@ mod tests {
         let mut probe = |_: usize| 100.0;
         let out = apro(
             &mut state,
-            AproConfig { max_probes: Some(0), ..cfg(1, 0.99) },
+            AproConfig {
+                max_probes: Some(0),
+                ..cfg(1, 0.99)
+            },
             &mut policy,
             &mut probe,
         );

@@ -146,14 +146,21 @@ pub fn apro_with_costs(
     policy: &mut dyn ProbePolicy,
     probe_fn: &mut dyn FnMut(usize) -> f64,
 ) -> (AproOutcome, f64) {
-    assert_eq!(costs.len(), state.len(), "cost vector does not cover the databases");
+    assert_eq!(
+        costs.len(),
+        state.len(),
+        "cost vector does not cover the databases"
+    );
     let mut spent = 0.0f64;
     // Budget enforcement wraps the probe function: once the next probe
     // would blow the budget we report exhaustion by probing nothing —
     // implemented by running APro one probe at a time.
     let mut outcome = apro(
         state,
-        AproConfig { max_probes: Some(0), ..config },
+        AproConfig {
+            max_probes: Some(0),
+            ..config
+        },
         policy,
         probe_fn,
     );
@@ -228,8 +235,13 @@ mod tests {
         let mut costs = vec![1.0; 3];
         costs[preferred] = 1_000.0;
         let mut costed = CostAwareGreedyPolicy::new(ProbeCosts::new(costs));
-        let pick = costed.select_db(&state, 1, CorrectnessMetric::Absolute).unwrap();
-        assert_ne!(pick, preferred, "cost-aware policy must route around the expensive db");
+        let pick = costed
+            .select_db(&state, 1, CorrectnessMetric::Absolute)
+            .unwrap();
+        assert_ne!(
+            pick, preferred,
+            "cost-aware policy must route around the expensive db"
+        );
     }
 
     #[test]

@@ -11,30 +11,29 @@
 //! ```
 //!
 //! and the policy probes `argmax_i usefulness(i)`.
+//!
+//! [`GreedyPolicy::usefulness`] is the *reference* evaluation (a cloned
+//! state re-probed per outcome). [`GreedyPolicy::select_db`] — the hot
+//! path APro hits once per probe — instead scores all candidates through
+//! [`crate::engine`]: the same quantities via incremental leave-one-out
+//! Poisson-binomial patches, fanned across cores.
 
 use crate::correctness::CorrectnessMetric;
+use crate::engine;
 use crate::expected::RdState;
 use crate::probing::policy::ProbePolicy;
-use crate::selection::best_set_score_quick;
 
 /// The greedy expected-usefulness policy.
 #[derive(Debug, Default)]
 pub struct GreedyPolicy;
 
 impl GreedyPolicy {
-    /// The expected usefulness of probing database `i` (exposed for the
-    /// worked-example tests and diagnostics).
+    /// The expected usefulness of probing database `i` — the reference
+    /// evaluation (exposed for the worked-example tests, diagnostics,
+    /// and the cost-aware policy's per-candidate gains; `select_db` uses
+    /// the equivalent incremental engine).
     pub fn usefulness(state: &RdState, i: usize, k: usize, metric: CorrectnessMetric) -> f64 {
-        // One working copy; only slot `i` changes between outcomes, so
-        // re-probing the clone in place avoids a full state clone per
-        // hypothetical outcome (the hot loop of every APro step).
-        let mut hyp = state.clone();
-        let mut total = 0.0;
-        for &(v, p) in state.rds()[i].points() {
-            hyp.probe(i, v);
-            total += p * best_set_score_quick(hyp.rds(), k, metric);
-        }
-        total
+        engine::naive_usefulness(state, i, k, metric)
     }
 }
 
@@ -44,10 +43,8 @@ impl ProbePolicy for GreedyPolicy {
     }
 
     fn select_db(&mut self, state: &RdState, k: usize, metric: CorrectnessMetric) -> Option<usize> {
-        state
-            .unprobed()
+        engine::usefulness_all(state, k, metric)
             .into_iter()
-            .map(|i| (i, Self::usefulness(state, i, k, metric)))
             .max_by(|a, b| {
                 a.1.partial_cmp(&b.1)
                     .expect("usefulness is finite")

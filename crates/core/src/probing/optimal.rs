@@ -28,7 +28,11 @@ impl OptimalPolicy {
     /// optimal choice depends on the stopping condition, so the policy
     /// must know it).
     pub fn new(threshold: f64) -> Self {
-        Self { threshold, max_databases: 6, max_support: 4 }
+        Self {
+            threshold,
+            max_databases: 6,
+            max_support: 4,
+        }
     }
 
     fn guard(&self, state: &RdState) {
@@ -50,12 +54,7 @@ impl OptimalPolicy {
 
     /// Expected number of *further* probes needed to reach the
     /// threshold from `state`, following the optimal policy.
-    fn expected_cost(
-        &self,
-        state: &RdState,
-        k: usize,
-        metric: CorrectnessMetric,
-    ) -> f64 {
+    fn expected_cost(&self, state: &RdState, k: usize, metric: CorrectnessMetric) -> f64 {
         let (_, score) = best_set(state.rds(), k, metric);
         if score >= self.threshold {
             return 0.0;
@@ -89,22 +88,26 @@ impl ProbePolicy for OptimalPolicy {
         if unprobed.is_empty() {
             return None;
         }
-        unprobed
-            .into_iter()
-            .map(|i| {
-                let mut cost = 1.0;
-                for &(v, p) in state.rds()[i].points() {
-                    let next = state.with_hypothetical(i, v);
-                    cost += p * self.expected_cost(&next, k, metric);
-                }
-                (i, cost)
-            })
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .expect("costs are finite")
-                    .then(a.0.cmp(&b.0))
-            })
-            .map(|(i, _)| i)
+        // Each candidate's expectimax subtree is independent, so the
+        // top-level scan fans across cores like the greedy engine's;
+        // index-ordered collection keeps the argmin deterministic.
+        let this = &*self;
+        crate::par::par_map_indexed(unprobed.len(), 2, |c| {
+            let i = unprobed[c];
+            let mut cost = 1.0;
+            for &(v, p) in state.rds()[i].points() {
+                let next = state.with_hypothetical(i, v);
+                cost += p * this.expected_cost(&next, k, metric);
+            }
+            (i, cost)
+        })
+        .into_iter()
+        .min_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("costs are finite")
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(i, _)| i)
     }
 }
 
@@ -142,7 +145,10 @@ mod tests {
     fn already_satisfied_state_costs_zero() {
         let state = paper_state();
         let opt = OptimalPolicy::new(0.5); // current certainty .85 ≥ .5
-        assert_eq!(opt.expected_cost(&state, 1, CorrectnessMetric::Absolute), 0.0);
+        assert_eq!(
+            opt.expected_cost(&state, 1, CorrectnessMetric::Absolute),
+            0.0
+        );
     }
 
     #[test]

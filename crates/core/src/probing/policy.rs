@@ -14,8 +14,7 @@ pub trait ProbePolicy: Send {
     /// The next database to probe, or `None` when every database is
     /// already probed. `k` and `metric` describe the selection task the
     /// certainty is measured against.
-    fn select_db(&mut self, state: &RdState, k: usize, metric: CorrectnessMetric)
-        -> Option<usize>;
+    fn select_db(&mut self, state: &RdState, k: usize, metric: CorrectnessMetric) -> Option<usize>;
 }
 
 /// Uniformly random choice among unprobed databases — the naive
@@ -28,7 +27,9 @@ pub struct RandomPolicy {
 impl RandomPolicy {
     /// Creates the policy with a seed (deterministic experiments).
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -59,16 +60,13 @@ impl ProbePolicy for ByEstimatePolicy {
     }
 
     fn select_db(&mut self, state: &RdState, _k: usize, _m: CorrectnessMetric) -> Option<usize> {
-        state
-            .unprobed()
-            .into_iter()
-            .max_by(|&a, &b| {
-                state.rds()[a]
-                    .mean()
-                    .partial_cmp(&state.rds()[b].mean())
-                    .expect("finite means")
-                    .then(b.cmp(&a)) // tie → lower index
-            })
+        state.unprobed().into_iter().max_by(|&a, &b| {
+            state.rds()[a]
+                .mean()
+                .partial_cmp(&state.rds()[b].mean())
+                .expect("finite means")
+                .then(b.cmp(&a)) // tie → lower index
+        })
     }
 }
 
@@ -83,16 +81,13 @@ impl ProbePolicy for UncertaintyPolicy {
     }
 
     fn select_db(&mut self, state: &RdState, _k: usize, _m: CorrectnessMetric) -> Option<usize> {
-        state
-            .unprobed()
-            .into_iter()
-            .max_by(|&a, &b| {
-                state.rds()[a]
-                    .variance()
-                    .partial_cmp(&state.rds()[b].variance())
-                    .expect("finite variances")
-                    .then(b.cmp(&a))
-            })
+        state.unprobed().into_iter().max_by(|&a, &b| {
+            state.rds()[a]
+                .variance()
+                .partial_cmp(&state.rds()[b].variance())
+                .expect("finite variances")
+                .then(b.cmp(&a))
+        })
     }
 }
 
@@ -107,22 +102,28 @@ mod tests {
 
     fn state() -> RdState {
         RdState::new(vec![
-            d(&[(10.0, 1.0)]),                   // mean 10, var 0
-            d(&[(0.0, 0.5), (40.0, 0.5)]),       // mean 20, var 400
-            d(&[(29.0, 0.5), (31.0, 0.5)]),      // mean 30, var 1
+            d(&[(10.0, 1.0)]),              // mean 10, var 0
+            d(&[(0.0, 0.5), (40.0, 0.5)]),  // mean 20, var 400
+            d(&[(29.0, 0.5), (31.0, 0.5)]), // mean 30, var 1
         ])
     }
 
     #[test]
     fn by_estimate_picks_highest_mean() {
         let mut p = ByEstimatePolicy;
-        assert_eq!(p.select_db(&state(), 1, CorrectnessMetric::Absolute), Some(2));
+        assert_eq!(
+            p.select_db(&state(), 1, CorrectnessMetric::Absolute),
+            Some(2)
+        );
     }
 
     #[test]
     fn uncertainty_picks_highest_variance() {
         let mut p = UncertaintyPolicy;
-        assert_eq!(p.select_db(&state(), 1, CorrectnessMetric::Absolute), Some(1));
+        assert_eq!(
+            p.select_db(&state(), 1, CorrectnessMetric::Absolute),
+            Some(1)
+        );
     }
 
     #[test]

@@ -67,13 +67,19 @@ impl QueryType {
     /// # Panics
     /// Panics if `thresholds` is empty or not strictly ascending.
     pub fn classify(n_terms: usize, estimate: f64, thresholds: &[f64]) -> Self {
-        assert!(!thresholds.is_empty(), "need at least one coverage threshold");
+        assert!(
+            !thresholds.is_empty(),
+            "need at least one coverage threshold"
+        );
         debug_assert!(
             thresholds.windows(2).all(|w| w[0] < w[1]),
             "thresholds must be strictly ascending"
         );
         let coverage = thresholds.iter().filter(|&&t| estimate >= t).count() as u8;
-        Self { arity: ArityBucket::of(n_terms), coverage }
+        Self {
+            arity: ArityBucket::of(n_terms),
+            coverage,
+        }
     }
 
     /// Whether the estimate cleared at least one threshold (the paper's
@@ -112,13 +118,19 @@ impl QueryType {
         };
         let mut out: Vec<QueryType> = coverage_order(self.coverage)
             .into_iter()
-            .map(|coverage| QueryType { arity: self.arity, coverage })
+            .map(|coverage| QueryType {
+                arity: self.arity,
+                coverage,
+            })
             .collect();
         for arity in ArityBucket::all() {
             if arity == self.arity {
                 continue;
             }
-            out.push(QueryType { arity, coverage: self.coverage });
+            out.push(QueryType {
+                arity,
+                coverage: self.coverage,
+            });
             out.extend(
                 coverage_order(self.coverage)
                     .into_iter()
@@ -194,10 +206,25 @@ mod tests {
 
     #[test]
     fn fallbacks_start_with_nearest_coverage_same_arity() {
-        let qt = QueryType { arity: ArityBucket::Two, coverage: 1 };
+        let qt = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 1,
+        };
         let fb = qt.fallbacks(2);
-        assert_eq!(fb[0], QueryType { arity: ArityBucket::Two, coverage: 0 });
-        assert_eq!(fb[1], QueryType { arity: ArityBucket::Two, coverage: 2 });
+        assert_eq!(
+            fb[0],
+            QueryType {
+                arity: ArityBucket::Two,
+                coverage: 0
+            }
+        );
+        assert_eq!(
+            fb[1],
+            QueryType {
+                arity: ArityBucket::Two,
+                coverage: 2
+            }
+        );
         assert!(!fb.contains(&qt));
         // Every other leaf is reachable.
         let total = QueryType::all(2).len() - 1;
@@ -207,9 +234,18 @@ mod tests {
 
     #[test]
     fn single_threshold_fallback_is_the_sibling() {
-        let qt = QueryType { arity: ArityBucket::Two, coverage: 1 };
+        let qt = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 1,
+        };
         let fb = qt.fallbacks(1);
-        assert_eq!(fb[0], QueryType { arity: ArityBucket::Two, coverage: 0 });
+        assert_eq!(
+            fb[0],
+            QueryType {
+                arity: ArityBucket::Two,
+                coverage: 0
+            }
+        );
     }
 
     #[test]
@@ -220,7 +256,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let qt = QueryType { arity: ArityBucket::Two, coverage: 0 };
+        let qt = QueryType {
+            arity: ArityBucket::Two,
+            coverage: 0,
+        };
         assert_eq!(qt.to_string(), "2-term/cov0");
     }
 }

@@ -32,7 +32,11 @@ pub fn derive_rd(estimate: f64, ed: Option<&ErrorDistribution>, config: &CoreCon
 ///
 /// `estimates[i]` must be the estimator output for database `i`.
 pub fn derive_all_rds(estimates: &[f64], query: &Query, lib: &EdLibrary) -> Vec<Discrete> {
-    assert_eq!(estimates.len(), lib.n_databases(), "estimate/library mismatch");
+    assert_eq!(
+        estimates.len(),
+        lib.n_databases(),
+        "estimate/library mismatch"
+    );
     estimates
         .iter()
         .enumerate()

@@ -26,12 +26,8 @@ impl RelevancyDef {
     /// the relevancy.
     pub fn probe(&self, db: &dyn HiddenWebDatabase, query: &Query, top_n: usize) -> f64 {
         match self {
-            RelevancyDef::DocFrequency => {
-                db.search(query.terms(), 0).match_count as f64
-            }
-            RelevancyDef::DocSimilarity => {
-                db.search(query.terms(), top_n.max(1)).top_similarity()
-            }
+            RelevancyDef::DocFrequency => db.search(query.terms(), 0).match_count as f64,
+            RelevancyDef::DocSimilarity => db.search(query.terms(), top_n.max(1)).top_similarity(),
         }
     }
 }
@@ -82,6 +78,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(RelevancyDef::DocFrequency.to_string(), "document-frequency");
-        assert_eq!(RelevancyDef::DocSimilarity.to_string(), "document-similarity");
+        assert_eq!(
+            RelevancyDef::DocSimilarity.to_string(),
+            "document-similarity"
+        );
     }
 }

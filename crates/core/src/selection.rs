@@ -3,7 +3,29 @@
 
 use crate::correctness::CorrectnessMetric;
 use crate::expected::{expected_correctness, marginal_topk_prob};
+use crate::par::par_map_indexed;
 use mp_stats::Discrete;
+
+/// Below this many databases a marginal fan-out costs more in fork-join
+/// overhead than the `O(n · s̄ · k)` marginals themselves.
+const MARGINAL_PAR_MIN: usize = 32;
+
+/// Every database's marginal top-k probability, ranked descending with
+/// ties to the lower index — the shared first step of [`best_set`] and
+/// [`best_set_score_quick`]. The per-database marginals are independent,
+/// so they fan out across cores ([`par_map_indexed`]) once `n` is large
+/// enough to pay for the fork-join; order-preserving collection keeps the
+/// result bit-identical to the sequential evaluation.
+fn ranked_marginals(rds: &[Discrete], k: usize) -> Vec<(usize, f64)> {
+    let mut marginals: Vec<(usize, f64)> = par_map_indexed(rds.len(), MARGINAL_PAR_MIN, |i| {
+        marginal_topk_prob(rds, i, k)
+    })
+    .into_iter()
+    .enumerate()
+    .collect();
+    marginals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    marginals
+}
 
 /// Baseline selection: rank databases by point estimate, descending,
 /// ties to the lower index — exactly what summary-based metasearchers
@@ -34,10 +56,7 @@ pub fn baseline_select(estimates: &[f64], k: usize) -> Vec<usize> {
 ///   is already optimal in practice; the local search guards the rest.
 pub fn best_set(rds: &[Discrete], k: usize, metric: CorrectnessMetric) -> (Vec<usize>, f64) {
     assert!(k >= 1 && k <= rds.len(), "k out of range");
-    let mut marginals: Vec<(usize, f64)> = (0..rds.len())
-        .map(|i| (i, marginal_topk_prob(rds, i, k)))
-        .collect();
-    marginals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    let marginals = ranked_marginals(rds, k);
     let mut set: Vec<usize> = marginals[..k].iter().map(|&(i, _)| i).collect();
     set.sort_unstable();
 
@@ -98,10 +117,7 @@ pub fn rd_based_select(rds: &[Discrete], k: usize, metric: CorrectnessMetric) ->
 /// the correctness semantics of the returned answer.
 pub fn best_set_score_quick(rds: &[Discrete], k: usize, metric: CorrectnessMetric) -> f64 {
     assert!(k >= 1 && k <= rds.len(), "k out of range");
-    let mut marginals: Vec<(usize, f64)> = (0..rds.len())
-        .map(|i| (i, marginal_topk_prob(rds, i, k)))
-        .collect();
-    marginals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    let marginals = ranked_marginals(rds, k);
     match metric {
         // Partial: E[Cor_p] is the mean of the chosen marginals.
         CorrectnessMetric::Partial => {
@@ -187,7 +203,13 @@ mod tests {
         fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
             let mut out = Vec::new();
             let mut cur = Vec::new();
-            fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            fn rec(
+                start: usize,
+                n: usize,
+                k: usize,
+                cur: &mut Vec<usize>,
+                out: &mut Vec<Vec<usize>>,
+            ) {
                 if cur.len() == k {
                     out.push(cur.clone());
                     return;

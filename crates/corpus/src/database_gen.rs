@@ -43,13 +43,25 @@ impl DatabaseSpec {
                 }
             }
         }
-        Self { name: name.into(), size, mixture, seed, doc_config: DocGenConfig::default() }
+        Self {
+            name: name.into(),
+            size,
+            mixture,
+            seed,
+            doc_config: DocGenConfig::default(),
+        }
     }
 
     /// A generalist database: uniform mixture over all topics.
     pub fn generalist(name: impl Into<String>, size: usize, n_topics: usize, seed: u64) -> Self {
         let mixture = (0..n_topics).map(|i| (TopicId(i as u32), 1.0)).collect();
-        Self { name: name.into(), size, mixture, seed, doc_config: DocGenConfig::default() }
+        Self {
+            name: name.into(),
+            size,
+            mixture,
+            seed,
+            doc_config: DocGenConfig::default(),
+        }
     }
 }
 
@@ -135,7 +147,10 @@ mod tests {
         );
         // A conjunctive query of two popular topic-0 terms matches far
         // more documents in the topic-0 specialist.
-        let q = [m.topic(TopicId(0)).terms()[0], m.topic(TopicId(0)).terms()[1]];
+        let q = [
+            m.topic(TopicId(0)).terms()[0],
+            m.topic(TopicId(0)).terms()[1],
+        ];
         let hits0 = s0.count_matching(&q);
         let hits2 = s2.count_matching(&q);
         assert!(

@@ -84,8 +84,8 @@ impl<'m> DocumentGenerator<'m> {
             assert!(t.index() < model.n_topics(), "unknown topic {t:?}");
         }
         let weights: Vec<f64> = mixture.iter().map(|&(_, w)| w).collect();
-        let window_zipf = (config.subtopic_window > 0)
-            .then(|| mp_stats::Zipf::new(config.subtopic_window, 1.0));
+        let window_zipf =
+            (config.subtopic_window > 0).then(|| mp_stats::Zipf::new(config.subtopic_window, 1.0));
         Self {
             model,
             config,
@@ -107,25 +107,23 @@ impl<'m> DocumentGenerator<'m> {
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let len = (self.config.len_log_mean + self.config.len_log_std * z).exp();
-        (len.round() as i64)
-            .clamp(self.config.min_len as i64, self.config.max_len as i64) as u32
+        (len.round() as i64).clamp(self.config.min_len as i64, self.config.max_len as i64) as u32
     }
 
     /// Generates one document.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Document {
         let primary = self.mixture_topics[self.mixture.sample(rng)];
-        let secondary = if self.model.n_topics() > 1
-            && rng.gen::<f64>() < self.config.second_topic_prob
-        {
-            // Any other topic, uniformly: news-style cross-topic content.
-            let mut pick = rng.gen_range(0..self.model.n_topics() - 1);
-            if pick >= primary.index() {
-                pick += 1;
-            }
-            Some(TopicId(pick as u32))
-        } else {
-            None
-        };
+        let secondary =
+            if self.model.n_topics() > 1 && rng.gen::<f64>() < self.config.second_topic_prob {
+                // Any other topic, uniformly: news-style cross-topic content.
+                let mut pick = rng.gen_range(0..self.model.n_topics() - 1);
+                if pick >= primary.index() {
+                    pick += 1;
+                }
+                Some(TopicId(pick as u32))
+            } else {
+                None
+            };
 
         // One subtopic window per (document, topic): the document's
         // topical vocabulary clusters around it.
@@ -183,7 +181,11 @@ mod tests {
         let g = DocumentGenerator::new(
             &m,
             &[(TopicId(0), 1.0)],
-            DocGenConfig { min_len: 20, max_len: 60, ..DocGenConfig::default() },
+            DocGenConfig {
+                min_len: 20,
+                max_len: 60,
+                ..DocGenConfig::default()
+            },
         );
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..200 {
@@ -198,7 +200,11 @@ mod tests {
         let g = DocumentGenerator::new(
             &m,
             &[(TopicId(2), 1.0)],
-            DocGenConfig { background_prob: 0.0, second_topic_prob: 0.0, ..DocGenConfig::default() },
+            DocGenConfig {
+                background_prob: 0.0,
+                second_topic_prob: 0.0,
+                ..DocGenConfig::default()
+            },
         );
         let allowed: HashSet<_> = m.topic(TopicId(2)).terms().iter().copied().collect();
         let mut rng = StdRng::seed_from_u64(8);
@@ -227,7 +233,11 @@ mod tests {
         let n = docs.len() as f64;
         let pa = docs.iter().filter(|d| d.contains(a)).count() as f64 / n;
         let pb = docs.iter().filter(|d| d.contains(b)).count() as f64 / n;
-        let pab = docs.iter().filter(|d| d.contains(a) && d.contains(b)).count() as f64 / n;
+        let pab = docs
+            .iter()
+            .filter(|d| d.contains(a) && d.contains(b))
+            .count() as f64
+            / n;
         assert!(pa > 0.0 && pb > 0.0);
         assert!(
             pab > 2.0 * pa * pb,

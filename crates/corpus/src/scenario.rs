@@ -54,7 +54,10 @@ impl ScenarioConfig {
             seed,
             scale: 1.0,
             n_databases: 20,
-            topics: TopicModelConfig { seed, ..TopicModelConfig::default() },
+            topics: TopicModelConfig {
+                seed,
+                ..TopicModelConfig::default()
+            },
         }
     }
 
@@ -94,7 +97,12 @@ impl Scenario {
             ScenarioKind::Health => health_specs(&config, &model),
         };
         let indexes = specs.iter().map(|s| generate_database(&model, s)).collect();
-        Self { config, model, specs, indexes }
+        Self {
+            config,
+            model,
+            specs,
+            indexes,
+        }
     }
 
     /// The configuration this scenario was generated from.
@@ -124,7 +132,10 @@ impl Scenario {
 
     /// Consumes the scenario, yielding `(spec, index)` pairs.
     pub fn into_parts(self) -> (TopicModel, Vec<(DatabaseSpec, InvertedIndex)>) {
-        (self.model, self.specs.into_iter().zip(self.indexes).collect())
+        (
+            self.model,
+            self.specs.into_iter().zip(self.indexes).collect(),
+        )
     }
 }
 

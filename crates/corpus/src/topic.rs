@@ -94,7 +94,10 @@ impl TopicModel {
     /// in `config.seed`.
     pub fn build(config: TopicModelConfig) -> Self {
         assert!(config.n_topics >= 1, "need at least one topic");
-        assert!(config.terms_per_topic >= 2, "topics need at least two terms");
+        assert!(
+            config.terms_per_topic >= 2,
+            "topics need at least two terms"
+        );
         assert!(
             (0.0..1.0).contains(&config.overlap_fraction),
             "overlap_fraction must be in [0, 1)"
@@ -144,7 +147,12 @@ impl TopicModel {
             terms: background_ids,
         };
 
-        Self { config, vocab, topics, background }
+        Self {
+            config,
+            vocab,
+            topics,
+            background,
+        }
     }
 
     /// The model configuration.
@@ -224,9 +232,8 @@ mod tests {
     #[test]
     fn neighboring_topics_share_terms_distant_ones_do_not() {
         let m = TopicModel::build(small_config());
-        let set = |t: u32| -> HashSet<TermId> {
-            m.topic(TopicId(t)).terms().iter().copied().collect()
-        };
+        let set =
+            |t: u32| -> HashSet<TermId> { m.topic(TopicId(t)).terms().iter().copied().collect() };
         let (t0, t1, t2) = (set(0), set(1), set(2));
         assert!(!t0.is_disjoint(&t1), "ring neighbors must overlap");
         // Topic 0 borrows from 1 only; topic 2 borrows from 3 only: the
@@ -249,7 +256,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let head: HashSet<TermId> = topic.terms().iter().take(10).copied().collect();
         let n = 5000;
-        let head_hits = (0..n).filter(|_| head.contains(&topic.sample(&mut rng))).count();
+        let head_hits = (0..n)
+            .filter(|_| head.contains(&topic.sample(&mut rng)))
+            .count();
         // With Zipf(1.0) over 60 ranks, the top-10 carry ~63% of the mass.
         assert!(head_hits as f64 / n as f64 > 0.45, "{head_hits}");
     }
@@ -257,12 +266,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one topic")]
     fn rejects_zero_topics() {
-        TopicModel::build(TopicModelConfig { n_topics: 0, ..small_config() });
+        TopicModel::build(TopicModelConfig {
+            n_topics: 0,
+            ..small_config()
+        });
     }
 
     #[test]
     fn single_topic_model_has_no_overlap_panic() {
-        let m = TopicModel::build(TopicModelConfig { n_topics: 1, ..small_config() });
+        let m = TopicModel::build(TopicModelConfig {
+            n_topics: 1,
+            ..small_config()
+        });
         assert_eq!(m.topic(TopicId(0)).terms().len(), 50);
     }
 }

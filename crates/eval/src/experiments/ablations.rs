@@ -45,7 +45,10 @@ pub fn run_policy_ablation(
     let mut rows = Vec::new();
     let factories: Vec<PolicyFactory> = vec![
         ("greedy", Box::new(|_| Box::new(GreedyPolicy))),
-        ("random", Box::new(|qi| Box::new(RandomPolicy::new(qi as u64)))),
+        (
+            "random",
+            Box::new(|qi| Box::new(RandomPolicy::new(qi as u64))),
+        ),
         ("by-estimate", Box::new(|_| Box::new(ByEstimatePolicy))),
         ("max-uncertainty", Box::new(|_| Box::new(UncertaintyPolicy))),
     ];
@@ -112,7 +115,10 @@ pub fn run_theta_ablation(tb: &Testbed, thetas: &[f64]) -> Vec<ThetaRow> {
                 &core,
             );
             tb.mediator.reset_probes();
-            ThetaRow { theta, rd_k1: rd_scores_with_library(tb, 1, &library) }
+            ThetaRow {
+                theta,
+                rd_k1: rd_scores_with_library(tb, 1, &library),
+            }
         })
         .collect()
 }
@@ -171,7 +177,10 @@ pub fn run_training_size_ablation(tb: &Testbed, sizes: &[usize]) -> Vec<Training
                 &tb.config.core,
             );
             tb.mediator.reset_probes();
-            TrainingSizeRow { n_train: subset.len(), rd_k1: rd_scores_with_library(tb, 1, &library) }
+            TrainingSizeRow {
+                n_train: subset.len(),
+                rd_k1: rd_scores_with_library(tb, 1, &library),
+            }
         })
         .collect()
 }
@@ -207,7 +216,10 @@ pub struct SummaryAblationResult {
 /// [`crate::testbed::SummaryMode`].
 pub fn run_summary_ablation(cooperative: &Testbed, sampled: &Testbed) -> SummaryAblationResult {
     SummaryAblationResult {
-        cooperative: (evaluate_baseline(cooperative, 1), evaluate_rd_based(cooperative, 1)),
+        cooperative: (
+            evaluate_baseline(cooperative, 1),
+            evaluate_rd_based(cooperative, 1),
+        ),
         sampled: (evaluate_baseline(sampled, 1), evaluate_rd_based(sampled, 1)),
     }
 }
@@ -357,12 +369,18 @@ mod tests {
     fn summary_ablation_runs() {
         let coop = tb();
         let mut cfg = TestbedConfig::tiny(1);
-        cfg.summaries = SummaryMode::Sampled { n_queries: 15, docs_per_query: 25 };
+        cfg.summaries = SummaryMode::Sampled {
+            n_queries: 15,
+            docs_per_query: 25,
+        };
         let sampled = Testbed::build(cfg);
         let r = run_summary_ablation(&coop, &sampled);
         // Exact summaries should not be worse than sampled ones for the
         // baseline estimator (they feed it the true dfs).
-        assert!(r.cooperative.0.avg_cor_a + 0.2 >= r.sampled.0.avg_cor_a, "{r:?}");
+        assert!(
+            r.cooperative.0.avg_cor_a + 0.2 >= r.sampled.0.avg_cor_a,
+            "{r:?}"
+        );
         let text = render_summary_ablation(&r);
         assert!(text.contains("cooperative"));
     }

@@ -44,12 +44,7 @@ pub fn run_fig15(tb: &Testbed) -> Fig15Result {
 pub fn render_fig15(r: &Fig15Result) -> String {
     let mut table = TextTable::new(
         "Fig. 15 — RD-based database selection vs. the term-independence estimator",
-        &[
-            "method",
-            "k=1 Avg(Cor)",
-            "k=3 Avg(Cor_a)",
-            "k=3 Avg(Cor_p)",
-        ],
+        &["method", "k=1 Avg(Cor)", "k=3 Avg(Cor_a)", "k=3 Avg(Cor_p)"],
     );
     let pm = |v: f64, se: f64| format!("{} ±{:.3}", fmt3(v), se);
     table.row(&[
@@ -79,16 +74,30 @@ mod tests {
 
     #[test]
     fn rd_based_improves_on_baseline() {
-        let tb = Testbed::build(TestbedConfig::tiny(1));
-        let r = run_fig15(&tb);
         // The headline result must reproduce in shape: RD-based beats
-        // the baseline at k = 1 (strictly), and stays within statistical
-        // noise of it on the k = 3 columns at this tiny scale (the
-        // full-scale repro run shows clear k = 3 wins; see
-        // EXPERIMENTS.md).
-        assert!(r.rd_k1.avg_cor_a > r.baseline_k1.avg_cor_a, "{r:?}");
-        assert!(r.rd_k3.avg_cor_p + 0.05 >= r.baseline_k3.avg_cor_p, "{r:?}");
-        assert!(r.k1_relative_improvement() > 0.0);
+        // the baseline at k = 1 and on partial correctness at k = 3.
+        // The paper's claim is about the *expectation*; on one tiny
+        // 5-database testbed a single seed lands within ±1 SE of the
+        // baseline on either side, so the claim is asserted on scores
+        // averaged over several seeds (the full-scale repro shows
+        // per-run wins; see EXPERIMENTS.md).
+        const SEEDS: [u64; 4] = [1, 2, 3, 4];
+        let (mut base_k1, mut rd_k1, mut base_k3p, mut rd_k3p) = (0.0, 0.0, 0.0, 0.0);
+        for &seed in &SEEDS {
+            let r = run_fig15(&Testbed::build(TestbedConfig::tiny(seed)));
+            base_k1 += r.baseline_k1.avg_cor_a;
+            rd_k1 += r.rd_k1.avg_cor_a;
+            base_k3p += r.baseline_k3.avg_cor_p;
+            rd_k3p += r.rd_k3.avg_cor_p;
+        }
+        assert!(
+            rd_k1 > base_k1,
+            "averaged k=1: rd {rd_k1} vs baseline {base_k1}"
+        );
+        assert!(
+            rd_k3p > base_k3p,
+            "averaged k=3 partial: rd {rd_k3p} vs baseline {base_k3p}"
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! The paper's finding: goodness clears the 0.5 acceptance line even at
 //! `S = 100` and inches up with larger samples.
 
-use mp_core::{CoreConfig, IndependenceEstimator, QueryType, RelevancyDef, RelevancyEstimator};
 use mp_core::error::relative_error;
 use mp_core::query_type::ArityBucket;
+use mp_core::{CoreConfig, IndependenceEstimator, QueryType, RelevancyDef, RelevancyEstimator};
 use mp_corpus::{Scenario, ScenarioConfig, ScenarioKind};
 use mp_hidden::{ContentSummary, HiddenWebDatabase, SimulatedHiddenDb};
 use mp_stats::chi2::histogram_goodness;
@@ -114,7 +114,10 @@ pub fn run_sampling_study(config: &SamplingStudyConfig) -> SamplingStudyResult {
     // Pool of distinct queries.
     let mut gen = QueryGenerator::new(
         &model,
-        QueryGenConfig { seed: config.seed ^ 0xF00D, ..QueryGenConfig::default() },
+        QueryGenConfig {
+            seed: config.seed ^ 0xF00D,
+            ..QueryGenConfig::default()
+        },
     );
     let mut pool = Vec::with_capacity(config.pool_size);
     let mut seen = std::collections::HashSet::new();
@@ -202,7 +205,11 @@ pub fn render_fig7(result: &SamplingStudyResult, max_rows: usize) -> String {
     );
     for (i, name) in result.db_names.iter().take(max_rows).enumerate() {
         let mut row = vec![name.clone(), result.pool_sizes[i].to_string()];
-        row.extend(result.per_db_goodness[i].iter().map(|&g| crate::report::fmt3(g)));
+        row.extend(
+            result.per_db_goodness[i]
+                .iter()
+                .map(|&g| crate::report::fmt3(g)),
+        );
         table.row(&row);
     }
     let mut avg_row = vec!["AVERAGE (Fig. 8)".to_string(), "-".to_string()];

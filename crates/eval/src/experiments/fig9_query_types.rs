@@ -58,13 +58,24 @@ pub fn run_fig9(tb: &Testbed, db: usize) -> Fig9Result {
                     .filter(|&(_, &p)| p > 0.0)
                     .map(|(b, &p)| (bin_label(b), p))
                     .collect();
-                EdLeaf { label: qt.to_string(), samples: ed.samples(), bars }
+                EdLeaf {
+                    label: qt.to_string(),
+                    samples: ed.samples(),
+                    bars,
+                }
             }
-            None => EdLeaf { label: qt.to_string(), samples: 0, bars: Vec::new() },
+            None => EdLeaf {
+                label: qt.to_string(),
+                samples: 0,
+                bars: Vec::new(),
+            },
         })
         .collect();
 
-    Fig9Result { db_name: tb.mediator.db(db).name().to_string(), leaves }
+    Fig9Result {
+        db_name: tb.mediator.db(db).name().to_string(),
+        leaves,
+    }
 }
 
 /// Renders the leaves as text bars.

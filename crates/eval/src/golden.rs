@@ -71,10 +71,7 @@ mod tests {
 
     #[test]
     fn topk_uses_actuals() {
-        let g = GoldenStandard::from_actuals(vec![
-            vec![5.0, 9.0, 1.0],
-            vec![0.0, 0.0, 2.0],
-        ]);
+        let g = GoldenStandard::from_actuals(vec![vec![5.0, 9.0, 1.0], vec![0.0, 0.0, 2.0]]);
         assert_eq!(g.n_queries(), 2);
         assert_eq!(g.topk(0, 1), vec![1]);
         assert_eq!(g.topk(0, 2), vec![1, 0]);

@@ -104,7 +104,7 @@ mod tests {
         assert!(s.contains("demo"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
-        // All data lines share the header width.
+                                    // All data lines share the header width.
         assert_eq!(lines[1].len(), lines[3].len());
         assert_eq!(lines[1].len(), lines[4].len());
     }

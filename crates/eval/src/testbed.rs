@@ -60,7 +60,10 @@ impl TestbedConfig {
             core: CoreConfig::default().with_threshold(0.5),
             relevancy: RelevancyDef::DocFrequency,
             summaries: SummaryMode::Cooperative,
-            workload: QueryGenConfig { seed: seed ^ 0x51_7e_a5, ..QueryGenConfig::default() },
+            workload: QueryGenConfig {
+                seed: seed ^ 0x51_7e_a5,
+                ..QueryGenConfig::default()
+            },
         }
     }
 
@@ -127,7 +130,10 @@ impl Testbed {
 
         let summaries = match config.summaries {
             SummaryMode::Cooperative => cooperative,
-            SummaryMode::Sampled { n_queries, docs_per_query } => {
+            SummaryMode::Sampled {
+                n_queries,
+                docs_per_query,
+            } => {
                 let mut rng = StdRng::seed_from_u64(config.scenario.seed ^ 0xA11A5);
                 dbs.iter()
                     .enumerate()
@@ -135,8 +141,7 @@ impl Testbed {
                         // Seed terms: the cooperative summary's term set
                         // (what a crawler would discover incrementally);
                         // contents are still *estimated* via sampling.
-                        let seeds: Vec<_> =
-                            cooperative[i].iter().map(|(t, _)| t).collect();
+                        let seeds: Vec<_> = cooperative[i].iter().map(|(t, _)| t).collect();
                         ContentSummary::from_sampling(
                             db.as_ref(),
                             &seeds,
@@ -150,8 +155,12 @@ impl Testbed {
         };
 
         let mediator = Mediator::new(dbs, summaries);
-        let split =
-            TrainTestSplit::generate(&model, config.n_two, config.n_three, config.workload.clone());
+        let split = TrainTestSplit::generate(
+            &model,
+            config.n_two,
+            config.n_three,
+            config.workload.clone(),
+        );
         let library = EdLibrary::train(
             &mediator,
             estimator.as_ref(),
@@ -167,7 +176,15 @@ impl Testbed {
         );
         mediator.reset_probes();
 
-        Self { mediator, model, split, library, golden, config, estimator }
+        Self {
+            mediator,
+            model,
+            split,
+            library,
+            golden,
+            config,
+            estimator,
+        }
     }
 
     /// Number of mediated databases.
@@ -206,7 +223,10 @@ mod tests {
     #[test]
     fn sampled_summaries_differ_from_cooperative() {
         let mut cfg = TestbedConfig::tiny(4);
-        cfg.summaries = SummaryMode::Sampled { n_queries: 10, docs_per_query: 20 };
+        cfg.summaries = SummaryMode::Sampled {
+            n_queries: 10,
+            docs_per_query: 20,
+        };
         let sampled = Testbed::build(cfg);
         let coop = Testbed::build(TestbedConfig::tiny(4));
         // Same sizes, but at least one df differs somewhere.

@@ -2,8 +2,8 @@
 
 use mp_index::{Document, InvertedIndex, ScoredDoc};
 use mp_text::TermId;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// What a Hidden-Web database returns for one query: the answer page.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,7 +97,7 @@ impl SimulatedHiddenDb {
 
     /// The probe queries issued so far (clone of the log).
     pub fn probe_log(&self) -> Vec<Vec<TermId>> {
-        self.probe_log.lock().clone()
+        self.probe_log.lock().unwrap().clone()
     }
 
     /// Direct index access for golden-standard construction in the
@@ -115,7 +115,7 @@ impl HiddenWebDatabase for SimulatedHiddenDb {
 
     fn search(&self, query: &[TermId], top_n: usize) -> SearchResponse {
         self.probes.fetch_add(1, Ordering::Relaxed);
-        self.probe_log.lock().push(query.to_vec());
+        self.probe_log.lock().unwrap().push(query.to_vec());
         SearchResponse {
             match_count: self.index.count_matching(query),
             top_docs: self.index.cosine_topk(query, top_n),
@@ -136,7 +136,7 @@ impl HiddenWebDatabase for SimulatedHiddenDb {
 
     fn reset_probes(&self) {
         self.probes.store(0, Ordering::Relaxed);
-        self.probe_log.lock().clear();
+        self.probe_log.lock().unwrap().clear();
     }
 }
 

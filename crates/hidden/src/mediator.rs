@@ -30,7 +30,11 @@ impl Mediator {
     /// # Panics
     /// Panics if the two vectors have different lengths or are empty.
     pub fn new(dbs: Vec<Arc<dyn HiddenWebDatabase>>, summaries: Vec<ContentSummary>) -> Self {
-        assert_eq!(dbs.len(), summaries.len(), "databases and summaries must align");
+        assert_eq!(
+            dbs.len(),
+            summaries.len(),
+            "databases and summaries must align"
+        );
         assert!(!dbs.is_empty(), "mediator needs at least one database");
         Self { dbs, summaries }
     }
@@ -99,8 +103,7 @@ mod tests {
     }
 
     fn mediator() -> Mediator {
-        let dbs: Vec<Arc<dyn HiddenWebDatabase>> =
-            vec![make_db("a", 10), make_db("b", 20)];
+        let dbs: Vec<Arc<dyn HiddenWebDatabase>> = vec![make_db("a", 10), make_db("b", 20)];
         let summaries = dbs
             .iter()
             .map(|d| {

@@ -64,7 +64,11 @@ impl ContentSummary {
         // a small query budget still covers distinct vocabulary.
         let mut terms: Vec<TermId> = {
             let mut set: HashSet<TermId> = HashSet::new();
-            seed_terms.iter().copied().filter(|t| set.insert(*t)).collect()
+            seed_terms
+                .iter()
+                .copied()
+                .filter(|t| set.insert(*t))
+                .collect()
         };
         let take = n_queries.min(terms.len());
         for i in 0..take {
@@ -93,7 +97,12 @@ impl ContentSummary {
             // Size not exported: take the largest observed single-term
             // match count as a lower-bound size proxy (the paper
             // estimates sizes "by issuing a query with common terms").
-            match_counts.iter().copied().max().unwrap_or(sample_size).max(sample_size)
+            match_counts
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(sample_size)
+                .max(sample_size)
         });
         if sample_size > 0 && size > sample_size {
             let scale = size as f64 / sample_size as f64;

@@ -19,10 +19,9 @@
 use crate::db::{HiddenWebDatabase, SearchResponse};
 use mp_index::{DocId, Document};
 use mp_text::TermId;
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A failure-injecting decorator around any [`HiddenWebDatabase`].
 pub struct UnreliableDb {
@@ -56,7 +55,10 @@ impl UnreliableDb {
         noise_span: f64,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&failure_rate), "failure_rate out of range");
+        assert!(
+            (0.0..=1.0).contains(&failure_rate),
+            "failure_rate out of range"
+        );
         assert!((0.0..=1.0).contains(&noise_rate), "noise_rate out of range");
         assert!((0.0..1.0).contains(&noise_span), "noise_span out of range");
         Self {
@@ -81,7 +83,7 @@ impl HiddenWebDatabase for UnreliableDb {
 
     fn search(&self, query: &[TermId], top_n: usize) -> SearchResponse {
         let (fail, noise_factor) = {
-            let mut rng = self.rng.lock();
+            let mut rng = self.rng.lock().unwrap();
             let fail = rng.gen::<f64>() < self.failure_rate;
             let noise = if rng.gen::<f64>() < self.noise_rate {
                 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * self.noise_span
@@ -95,7 +97,10 @@ impl HiddenWebDatabase for UnreliableDb {
             // is counted by the inner probe counter via a real call with
             // no results requested.
             let _ = self.inner.search(query, 0);
-            return SearchResponse { match_count: 0, top_docs: Vec::new() };
+            return SearchResponse {
+                match_count: 0,
+                top_docs: Vec::new(),
+            };
         }
         let mut resp = self.inner.search(query, top_n);
         if noise_factor != 1.0 {

@@ -76,9 +76,9 @@ impl InvertedIndex {
         if terms.is_empty() {
             return match collect {
                 None => MatchOutcome::Count(self.doc_count),
-                Some(limit) => MatchOutcome::Docs(
-                    (0..self.doc_count.min(limit as u32)).map(DocId).collect(),
-                ),
+                Some(limit) => {
+                    MatchOutcome::Docs((0..self.doc_count.min(limit as u32)).map(DocId).collect())
+                }
             };
         }
         // Intersect shortest-first: standard merge-intersection, linear
@@ -159,7 +159,10 @@ impl InvertedIndex {
         for (doc, dot) in acc {
             let dnorm = self.doc_norms[doc.index()];
             if dnorm > 0.0 {
-                topk.offer(ScoredDoc { doc, score: dot / (qnorm * dnorm) });
+                topk.offer(ScoredDoc {
+                    doc,
+                    score: dot / (qnorm * dnorm),
+                });
             }
         }
         topk.into_sorted()
@@ -170,7 +173,10 @@ impl InvertedIndex {
     /// definition ("relevancy of the most relevant document", Section
     /// 2.1). Zero when nothing matches.
     pub fn max_similarity(&self, query: &[TermId]) -> f64 {
-        self.cosine_topk(query, 1).first().map(|s| s.score).unwrap_or(0.0)
+        self.cosine_topk(query, 1)
+            .first()
+            .map(|s| s.score)
+            .unwrap_or(0.0)
     }
 
     /// Exports the `(term → df)` content summary used by summary-based
@@ -313,11 +319,7 @@ mod tests {
     /// Naive oracle: scan every document.
     fn naive_count(docs: &[Vec<u32>], query: &[u32]) -> u32 {
         docs.iter()
-            .filter(|d| {
-                query
-                    .iter()
-                    .all(|q| d.contains(q))
-            })
+            .filter(|d| query.iter().all(|q| d.contains(q)))
             .count() as u32
     }
 

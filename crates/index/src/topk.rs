@@ -43,7 +43,10 @@ impl TopK {
     /// Callers may pass an effectively unbounded `k` (e.g. "all
     /// results"); the preallocation is capped so that is cheap.
     pub fn new(k: usize) -> Self {
-        Self { k, heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1 << 12)) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1 << 12)),
+        }
     }
 
     /// Offers a candidate result.
@@ -87,7 +90,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn sd(id: u32, score: f64) -> ScoredDoc {
-        ScoredDoc { doc: DocId(id), score }
+        ScoredDoc {
+            doc: DocId(id),
+            score,
+        }
     }
 
     #[test]

@@ -56,14 +56,22 @@ mod tests {
 
     #[test]
     fn ranking_order_is_score_desc_then_id_asc() {
-        let mut v = [ScoredDoc { doc: DocId(2), score: 0.5 },
-            ScoredDoc { doc: DocId(1), score: 0.9 },
-            ScoredDoc { doc: DocId(0), score: 0.5 }];
+        let mut v = [
+            ScoredDoc {
+                doc: DocId(2),
+                score: 0.5,
+            },
+            ScoredDoc {
+                doc: DocId(1),
+                score: 0.9,
+            },
+            ScoredDoc {
+                doc: DocId(0),
+                score: 0.5,
+            },
+        ];
         v.sort_by(|a, b| a.ranking_cmp(b));
-        assert_eq!(
-            v.iter().map(|s| s.doc.0).collect::<Vec<_>>(),
-            vec![1, 0, 2]
-        );
+        assert_eq!(v.iter().map(|s| s.doc.0).collect::<Vec<_>>(), vec![1, 0, 2]);
     }
 
     #[test]

@@ -86,7 +86,11 @@ pub fn pearson_chi2_test(observed: &[u64], expected_probs: &[f64]) -> Chi2Outcom
         used_bins += 1;
     }
     let dof = (used_bins.max(2) - 1) as f64;
-    Chi2Outcome { statistic, dof, p_value: chi2_sf(statistic, dof) }
+    Chi2Outcome {
+        statistic,
+        dof,
+        p_value: chi2_sf(statistic, dof),
+    }
 }
 
 /// Convenience wrapper: tests a sample [`Histogram`] against a reference

@@ -38,7 +38,10 @@ impl std::fmt::Display for DiscreteError {
         match self {
             DiscreteError::Empty => write!(f, "distribution has no support"),
             DiscreteError::Invalid => {
-                write!(f, "invalid support point (non-finite value or negative probability)")
+                write!(
+                    f,
+                    "invalid support point (non-finite value or negative probability)"
+                )
             }
         }
     }
@@ -84,7 +87,9 @@ impl Discrete {
     /// its actual relevancy is known exactly (Section 3.4, Figure 5(e)).
     pub fn impulse(value: f64) -> Self {
         assert!(value.is_finite(), "impulse value must be finite");
-        Self { points: vec![(value, 1.0)] }
+        Self {
+            points: vec![(value, 1.0)],
+        }
     }
 
     /// The support points as `(value, probability)` pairs, sorted by value.
@@ -115,7 +120,11 @@ impl Discrete {
     /// Variance (population).
     pub fn variance(&self) -> f64 {
         let m = self.mean();
-        self.points.iter().map(|&(v, p)| p * (v - m) * (v - m)).sum::<f64>().max(0.0)
+        self.points
+            .iter()
+            .map(|&(v, p)| p * (v - m) * (v - m))
+            .sum::<f64>()
+            .max(0.0)
     }
 
     /// Smallest support value.
@@ -130,12 +139,20 @@ impl Discrete {
 
     /// `P(X < x)` (strictly less).
     pub fn cdf_lt(&self, x: f64) -> f64 {
-        self.points.iter().take_while(|&&(v, _)| v < x).map(|&(_, p)| p).sum()
+        self.points
+            .iter()
+            .take_while(|&&(v, _)| v < x)
+            .map(|&(_, p)| p)
+            .sum()
     }
 
     /// `P(X <= x)`.
     pub fn cdf_le(&self, x: f64) -> f64 {
-        self.points.iter().take_while(|&&(v, _)| v <= x).map(|&(_, p)| p).sum()
+        self.points
+            .iter()
+            .take_while(|&&(v, _)| v <= x)
+            .map(|&(_, p)| p)
+            .sum()
     }
 
     /// `P(X > x)`.
@@ -218,7 +235,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_invalid() {
         assert_eq!(Discrete::from_weighted(&[]), Err(DiscreteError::Empty));
-        assert_eq!(Discrete::from_weighted(&[(1.0, 0.0)]), Err(DiscreteError::Empty));
+        assert_eq!(
+            Discrete::from_weighted(&[(1.0, 0.0)]),
+            Err(DiscreteError::Empty)
+        );
         assert_eq!(
             Discrete::from_weighted(&[(f64::NAN, 1.0)]),
             Err(DiscreteError::Invalid)
@@ -273,10 +293,7 @@ mod tests {
         // err ∈ {-0.5, 0, +0.5}, estimate 100 → relevancy {50, 100, 150}.
         let ed = d(&[(-0.5, 0.1), (0.0, 0.5), (0.5, 0.4)]);
         let rd = ed.map_values(|e| 100.0 * (1.0 + e)).unwrap();
-        assert_eq!(
-            rd.points(),
-            &[(50.0, 0.1), (100.0, 0.5), (150.0, 0.4)]
-        );
+        assert_eq!(rd.points(), &[(50.0, 0.1), (100.0, 0.5), (150.0, 0.4)]);
     }
 
     #[test]

@@ -90,7 +90,12 @@ impl Histogram {
     /// An empty histogram over `spec`.
     pub fn new(spec: BinSpec) -> Self {
         let n = spec.bin_count();
-        Self { spec, counts: vec![0; n], sums: vec![0.0; n], total: 0 }
+        Self {
+            spec,
+            counts: vec![0; n],
+            sums: vec![0.0; n],
+            total: 0,
+        }
     }
 
     /// Builds and fills a histogram in one call.
@@ -116,7 +121,10 @@ impl Histogram {
     /// # Panics
     /// Panics if the bin specs differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.spec, other.spec, "cannot merge histograms with different bins");
+        assert_eq!(
+            self.spec, other.spec,
+            "cannot merge histograms with different bins"
+        );
         for i in 0..self.counts.len() {
             self.counts[i] += other.counts[i];
             self.sums[i] += other.sums[i];
@@ -144,7 +152,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// The representative value of `bin`: the empirical mean of its

@@ -39,5 +39,5 @@ pub use chi2::{chi2_cdf, pearson_chi2_test, Chi2Outcome};
 pub use discrete::Discrete;
 pub use histogram::{BinSpec, Histogram};
 pub use online::OnlineStats;
-pub use poisson_binomial::PoissonBinomial;
+pub use poisson_binomial::{IncrementalPoissonBinomial, PoissonBinomial};
 pub use sampling::{AliasSampler, Zipf};

@@ -24,7 +24,10 @@ impl Zipf {
     /// natural-language term frequencies.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n >= 1, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for rank in 1..=n {
@@ -78,7 +81,10 @@ impl AliasSampler {
     /// Panics on empty input, negative/non-finite weights, or all-zero
     /// weights.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "AliasSampler needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "AliasSampler needs at least one weight"
+        );
         let total: f64 = weights
             .iter()
             .map(|&w| {
@@ -115,7 +121,11 @@ impl AliasSampler {
             prob[i] = 1.0;
         }
         let norm: Vec<f64> = weights.iter().map(|&w| w / total).collect();
-        Self { prob, alias, weights: norm }
+        Self {
+            prob,
+            alias,
+            weights: norm,
+        }
     }
 
     /// Number of categories.
@@ -205,7 +215,11 @@ mod tests {
         }
         for (i, &c) in counts.iter().enumerate() {
             let emp = c as f64 / n as f64;
-            assert!((emp - z.prob(i)).abs() < 0.01, "rank {i}: {emp} vs {}", z.prob(i));
+            assert!(
+                (emp - z.prob(i)).abs() < 0.01,
+                "rank {i}: {emp} vs {}",
+                z.prob(i)
+            );
         }
     }
 

@@ -92,7 +92,9 @@ fn gamma_p_series(a: f64, x: f64) -> f64 {
             break;
         }
     }
-    (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().clamp(0.0, 1.0)
+    (sum.ln() + a * x.ln() - x - ln_gamma(a))
+        .exp()
+        .clamp(0.0, 1.0)
 }
 
 /// Modified-Lentz continued fraction for `Q(a, x)`; converges fast for
@@ -121,7 +123,9 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
             break;
         }
     }
-    (h.ln() + a * x.ln() - x - ln_gamma(a)).exp().clamp(0.0, 1.0)
+    (h.ln() + a * x.ln() - x - ln_gamma(a))
+        .exp()
+        .clamp(0.0, 1.0)
 }
 
 /// Error function `erf(x)`, via `P(1/2, x²)` with sign handling.
@@ -213,7 +217,10 @@ mod tests {
                 }
                 let expected = 1.0 - (-x).exp() * tail;
                 let got = gamma_p(k as f64, x);
-                assert!((got - expected).abs() < 1e-9, "k={k} x={x}: {got} vs {expected}");
+                assert!(
+                    (got - expected).abs() < 1e-9,
+                    "k={k} x={x}: {got} vs {expected}"
+                );
             }
         }
     }

@@ -19,14 +19,22 @@ pub struct Analyzer {
 
 impl Default for Analyzer {
     fn default() -> Self {
-        Self { remove_stopwords: true, apply_stemming: true, min_token_len: 2 }
+        Self {
+            remove_stopwords: true,
+            apply_stemming: true,
+            min_token_len: 2,
+        }
     }
 }
 
 impl Analyzer {
     /// An analyzer that performs tokenization only.
     pub fn plain() -> Self {
-        Self { remove_stopwords: false, apply_stemming: false, min_token_len: 1 }
+        Self {
+            remove_stopwords: false,
+            apply_stemming: false,
+            min_token_len: 1,
+        }
     }
 
     /// Analyzes free text into normalized terms.
@@ -67,7 +75,10 @@ mod tests {
 
     #[test]
     fn min_token_len_filters() {
-        let a = Analyzer { min_token_len: 4, ..Analyzer::default() };
+        let a = Analyzer {
+            min_token_len: 4,
+            ..Analyzer::default()
+        };
         assert_eq!(a.analyze("flu pandemic flu"), vec!["pandemic"]);
     }
 

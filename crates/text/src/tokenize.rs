@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn lowercases() {
-        assert_eq!(tokenize("PubMed MEDLINEplus"), vec!["pubmed", "medlineplus"]);
+        assert_eq!(
+            tokenize("PubMed MEDLINEplus"),
+            vec!["pubmed", "medlineplus"]
+        );
     }
 
     #[test]

@@ -31,7 +31,13 @@ pub struct QueryGenConfig {
 
 impl Default for QueryGenConfig {
     fn default() -> Self {
-        Self { in_topic_prob: 0.75, background_prob: 0.4, max_rank: 70, window: 10, seed: 0 }
+        Self {
+            in_topic_prob: 0.75,
+            background_prob: 0.4,
+            max_rank: 70,
+            window: 10,
+            seed: 0,
+        }
     }
 }
 
@@ -91,7 +97,8 @@ impl<'m> QueryGenerator<'m> {
         assert!(n_terms >= 1, "queries need at least one term");
         let anchor = TopicId(self.rng.gen_range(0..self.model.n_topics()) as u32);
         let anchor_start = (self.config.window > 0).then(|| {
-            self.rng.gen_range(0..self.model.topic(anchor).terms().len())
+            self.rng
+                .gen_range(0..self.model.topic(anchor).terms().len())
         });
         let mut terms: Vec<mp_text::TermId> = vec![self.topic_term(anchor, anchor_start)];
         let mut guard = 0;
@@ -149,16 +156,40 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let m = model();
-        let mut a = QueryGenerator::new(&m, QueryGenConfig { seed: 9, ..Default::default() });
-        let mut b = QueryGenerator::new(&m, QueryGenConfig { seed: 9, ..Default::default() });
+        let mut a = QueryGenerator::new(
+            &m,
+            QueryGenConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let mut b = QueryGenerator::new(
+            &m,
+            QueryGenConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.generate_many(20, 2), b.generate_many(20, 2));
     }
 
     #[test]
     fn different_seeds_vary() {
         let m = model();
-        let mut a = QueryGenerator::new(&m, QueryGenConfig { seed: 1, ..Default::default() });
-        let mut b = QueryGenerator::new(&m, QueryGenConfig { seed: 2, ..Default::default() });
+        let mut a = QueryGenerator::new(
+            &m,
+            QueryGenConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let mut b = QueryGenerator::new(
+            &m,
+            QueryGenConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.generate_many(20, 2), b.generate_many(20, 2));
     }
 
@@ -168,7 +199,11 @@ mod tests {
         let m = model();
         let mut g = QueryGenerator::new(
             &m,
-            QueryGenConfig { in_topic_prob: 1.0, seed: 3, ..Default::default() },
+            QueryGenConfig {
+                in_topic_prob: 1.0,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let topic_sets: Vec<HashSet<_>> = m
             .topic_ids()

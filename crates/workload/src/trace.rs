@@ -106,7 +106,10 @@ impl TrainTestSplit {
         train.extend(train_three);
         let mut test = test_two;
         test.extend(test_three);
-        Self { train: QueryTrace::new(train), test: QueryTrace::new(test) }
+        Self {
+            train: QueryTrace::new(train),
+            test: QueryTrace::new(test),
+        }
     }
 }
 
@@ -148,8 +151,24 @@ mod tests {
     #[test]
     fn split_is_deterministic() {
         let m = model();
-        let a = TrainTestSplit::generate(&m, 10, 10, QueryGenConfig { seed: 42, ..Default::default() });
-        let b = TrainTestSplit::generate(&m, 10, 10, QueryGenConfig { seed: 42, ..Default::default() });
+        let a = TrainTestSplit::generate(
+            &m,
+            10,
+            10,
+            QueryGenConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let b = TrainTestSplit::generate(
+            &m,
+            10,
+            10,
+            QueryGenConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, b);
     }
 

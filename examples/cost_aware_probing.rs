@@ -37,7 +37,10 @@ use mp_eval::{Testbed, TestbedConfig};
 fn run_regime(tb: &Testbed, costs: &ProbeCosts, label: &str) {
     let queries = tb.split.test.queries();
     println!("\n{label}");
-    println!("{:>8}  {:>12}  {:>12}", "budget", "cost-aware", "cost-blind");
+    println!(
+        "{:>8}  {:>12}  {:>12}",
+        "budget", "cost-aware", "cost-blind"
+    );
     for budget in [1.0f64, 2.0, 4.0, 8.0] {
         let mut correct_aware = 0.0;
         let mut correct_blind = 0.0;

@@ -9,7 +9,9 @@
 //! ```
 
 use mp_core::probing::GreedyPolicy;
-use mp_core::{AproConfig, CoreConfig, CorrectnessMetric, IndependenceEstimator, Metasearcher, RelevancyDef};
+use mp_core::{
+    AproConfig, CoreConfig, CorrectnessMetric, IndependenceEstimator, Metasearcher, RelevancyDef,
+};
 use mp_corpus::{Scenario, ScenarioConfig, ScenarioKind};
 use mp_hidden::{ContentSummary, HiddenWebDatabase, Mediator, SimulatedHiddenDb};
 use mp_workload::{QueryGenConfig, TrainTestSplit};
@@ -49,7 +51,10 @@ fn main() {
     let k = 3;
     let t = 0.8;
     let batch = &split.test.queries()[..12];
-    println!("\nserving {} queries (top-{k} databases, certainty ≥ {t}):\n", batch.len());
+    println!(
+        "\nserving {} queries (top-{k} databases, certainty ≥ {t}):\n",
+        batch.len()
+    );
 
     let mut total_probes = 0usize;
     for query in batch {

@@ -12,12 +12,11 @@
 
 use mp_core::expected::RdState;
 use mp_core::probing::{
-    apro, AproConfig, ByEstimatePolicy, GreedyPolicy, ProbePolicy, RandomPolicy,
-    UncertaintyPolicy,
+    apro, AproConfig, ByEstimatePolicy, GreedyPolicy, ProbePolicy, RandomPolicy, UncertaintyPolicy,
 };
 use mp_core::CorrectnessMetric;
-use mp_eval::{Testbed, TestbedConfig};
 use mp_corpus::{ScenarioConfig, ScenarioKind};
+use mp_eval::{Testbed, TestbedConfig};
 
 type NamedPolicyFactory = (&'static str, Box<dyn Fn(usize) -> Box<dyn ProbePolicy>>);
 
@@ -42,7 +41,10 @@ fn main() {
 
     let policies: Vec<NamedPolicyFactory> = vec![
         ("greedy (paper)", Box::new(|_| Box::new(GreedyPolicy))),
-        ("random", Box::new(|qi| Box::new(RandomPolicy::new(qi as u64)))),
+        (
+            "random",
+            Box::new(|qi| Box::new(RandomPolicy::new(qi as u64))),
+        ),
         ("by-estimate", Box::new(|_| Box::new(ByEstimatePolicy))),
         ("max-uncertainty", Box::new(|_| Box::new(UncertaintyPolicy))),
     ];

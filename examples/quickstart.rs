@@ -12,7 +12,9 @@
 //! ```
 
 use mp_core::probing::GreedyPolicy;
-use mp_core::{AproConfig, CoreConfig, CorrectnessMetric, IndependenceEstimator, Metasearcher, RelevancyDef};
+use mp_core::{
+    AproConfig, CoreConfig, CorrectnessMetric, IndependenceEstimator, Metasearcher, RelevancyDef,
+};
 use mp_corpus::{Scenario, ScenarioConfig, ScenarioKind};
 use mp_hidden::{ContentSummary, HiddenWebDatabase, Mediator, SimulatedHiddenDb};
 use mp_workload::{QueryGenConfig, TrainTestSplit};

@@ -19,7 +19,11 @@ fn build_metasearcher(seed: u64) -> (Metasearcher, TrainTestSplit, mp_corpus::To
         &model,
         80,
         50,
-        QueryGenConfig { window: 12, seed: seed ^ 0xFEED, ..QueryGenConfig::default() },
+        QueryGenConfig {
+            window: 12,
+            seed: seed ^ 0xFEED,
+            ..QueryGenConfig::default()
+        },
     );
     let ms = Metasearcher::train(
         mediator,
@@ -183,16 +187,25 @@ fn apro_degrades_gracefully_on_unreliable_databases() {
     let mut summaries = Vec::new();
     for (i, (spec, index)) in parts.into_iter().enumerate() {
         summaries.push(ContentSummary::cooperative(&index));
-        let base: Arc<dyn HiddenWebDatabase> =
-            Arc::new(SimulatedHiddenDb::new(spec.name, index));
-        dbs.push(Arc::new(UnreliableDb::new(base, 0.15, 0.3, 0.25, 100 + i as u64)));
+        let base: Arc<dyn HiddenWebDatabase> = Arc::new(SimulatedHiddenDb::new(spec.name, index));
+        dbs.push(Arc::new(UnreliableDb::new(
+            base,
+            0.15,
+            0.3,
+            0.25,
+            100 + i as u64,
+        )));
     }
     let mediator = Mediator::new(dbs, summaries);
     let split = TrainTestSplit::generate(
         &model,
         60,
         40,
-        QueryGenConfig { window: 12, seed: 77, ..QueryGenConfig::default() },
+        QueryGenConfig {
+            window: 12,
+            seed: 77,
+            ..QueryGenConfig::default()
+        },
     );
     let ms = Metasearcher::train(
         mediator,
@@ -238,12 +251,16 @@ fn cost_aware_probing_integrates_end_to_end() {
     let query = &split.test.queries()[1];
     let mut state = RdState::new(ms.rds(query));
     let mut policy = CostAwareGreedyPolicy::new(costs.clone());
-    let mut probe_fn =
-        |i: usize| RelevancyDef::DocFrequency.probe(ms.mediator().db(i), query, 0);
+    let mut probe_fn = |i: usize| RelevancyDef::DocFrequency.probe(ms.mediator().db(i), query, 0);
     let f: &mut dyn FnMut(usize) -> f64 = &mut probe_fn;
     let (outcome, spent) = apro_with_costs(
         &mut state,
-        AproConfig { k: 1, threshold: 0.95, metric: CorrectnessMetric::Absolute, max_probes: None },
+        AproConfig {
+            k: 1,
+            threshold: 0.95,
+            metric: CorrectnessMetric::Absolute,
+            max_probes: None,
+        },
         &costs,
         Some(6.0),
         &mut policy,

@@ -23,13 +23,8 @@ fn exact_expectations_match_monte_carlo_on_real_rds() {
         let rds = tb.rds(q);
         for k in [1usize, 2] {
             let (set, exact) = best_set(&rds, k, CorrectnessMetric::Absolute);
-            let mc = monte_carlo_expected(
-                &rds,
-                &set,
-                CorrectnessMetric::Absolute,
-                30_000,
-                &mut rng,
-            );
+            let mc =
+                monte_carlo_expected(&rds, &set, CorrectnessMetric::Absolute, 30_000, &mut rng);
             assert!(
                 (exact - mc).abs() < 0.02,
                 "query {qi} k={k}: exact {exact} vs MC {mc}"

@@ -1,0 +1,254 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use —
+//! [`black_box`], [`Criterion`] with the by-value builder methods,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a simple wall-clock harness: warm-up, then
+//! `sample_size` samples of an adaptively chosen iteration count, with
+//! min / median / mean / max per-iteration times printed per benchmark.
+//! No HTML reports, no statistical regression analysis.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant-folding of bench
+/// inputs and results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration and registry.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total wall-clock budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the untimed warm-up.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (as passed by `cargo bench`):
+    /// the first non-flag argument becomes a substring filter on
+    /// benchmark names; flags like `--bench` are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') && self.filter.is_none() {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Runs one benchmark (unless filtered out) and prints its timing
+    /// summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(name, &bencher.samples_ns);
+        self
+    }
+}
+
+/// Per-benchmark measurement driver handed to the bench closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Per-iteration times (ns) of each sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting
+    /// `sample_size` samples of an iteration count sized so the samples
+    /// roughly fill `measurement_time`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run at least once, keep going until the budget is
+        // spent, and use the runs to estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.sample_size as f64;
+        let iters = (per_sample_ns / est_ns).floor().max(1.0) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, samples_ns: &[f64]) {
+    if samples_ns.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{name:<44} time: [{} {} {}]  mean: {}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        fmt_ns(mean)
+    );
+}
+
+/// Summary statistics for external consumers (e.g. benches that record
+/// results to JSON files).
+pub fn summarize(samples_ns: &[f64]) -> (f64, f64, f64, f64) {
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let max = sorted.last().copied().unwrap_or(0.0);
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    (min, median, mean, max)
+}
+
+/// Declares a benchmark group: a function that configures a
+/// [`Criterion`] and runs the target functions against it.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut hit = false;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64));
+            hit = true;
+            assert_eq!(b.samples_ns.len(), 5);
+            assert!(b.samples_ns.iter().all(|&ns| ns > 0.0));
+        });
+        assert!(hit);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+            ..Default::default()
+        };
+        c.bench_function("smoke/other", |_| panic!("must be filtered out"));
+    }
+
+    #[test]
+    fn summarize_orders_stats() {
+        let (min, median, mean, max) = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!((min, median, max), (1.0, 2.0, 3.0));
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,584 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! [`strategy::Strategy`] with `prop_map`, range and tuple strategies, a
+//! regex-subset string strategy, [`collection::vec`] /
+//! [`collection::hash_set`], and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assert_ne!`] / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline
+//! build: no shrinking (a failing case reports its values but not a
+//! minimal counterexample), and the RNG stream is seeded from the test
+//! name (override with `PROPTEST_SEED=<u64>`), so regression files are
+//! not consumed.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of test-case values.
+    ///
+    /// Unlike upstream there is no value tree: `generate` draws a value
+    /// directly and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// One parsed regex atom with its repetition bounds.
+    struct Atom {
+        /// Candidate characters; empty means "any char" (`.`).
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+        match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                if let Some((lo, hi)) = body.split_once(',') {
+                    let lo: usize = lo.trim().parse().expect("bad {m,n} quantifier");
+                    let hi: usize = if hi.trim().is_empty() {
+                        lo + 8
+                    } else {
+                        hi.trim().parse().expect("bad {m,n} quantifier")
+                    };
+                    (lo, hi)
+                } else {
+                    let n: usize = body.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Parses the regex subset supported for string strategies:
+    /// literal characters, `.`, simple character classes
+    /// (`[a-z0-9_]`, no negation), and `* + ? {n} {m,n}` quantifiers.
+    fn parse_pattern(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let candidates = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(c) = chars.next() else {
+                            panic!("unterminated character class in `{pattern}`");
+                        };
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                for code in (lo as u32)..=(hi as u32) {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                            c => {
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    assert!(!set.is_empty(), "empty character class in `{pattern}`");
+                    set
+                }
+                '.' => Vec::new(),
+                '\\' => {
+                    let esc = chars.next().expect("trailing backslash in pattern");
+                    match esc {
+                        'd' => ('0'..='9').collect(),
+                        'w' => ('a'..='z')
+                            .chain('A'..='Z')
+                            .chain('0'..='9')
+                            .chain(['_'])
+                            .collect(),
+                        's' => vec![' ', '\t', '\n'],
+                        other => vec![other],
+                    }
+                }
+                other => vec![other],
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            atoms.push(Atom {
+                chars: candidates,
+                min,
+                max,
+            });
+        }
+        atoms
+    }
+
+    fn any_char(rng: &mut StdRng) -> char {
+        // Mostly printable ASCII with occasional multibyte characters so
+        // UTF-8 handling gets exercised.
+        match rng.gen_range(0u32..10) {
+            0 => char::from_u32(rng.gen_range(0x00A1u32..0x0250)).unwrap_or('ß'),
+            1 => char::from_u32(rng.gen_range(0x0391u32..0x03C9)).unwrap_or('λ'),
+            _ => char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap(),
+        }
+    }
+
+    /// Strategy producing strings matching a (subset) regex pattern.
+    pub struct StringStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for StringStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let reps = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..reps {
+                    if atom.chars.is_empty() {
+                        out.push(any_char(rng));
+                    } else {
+                        out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            StringStrategy {
+                atoms: parse_pattern(self),
+            }
+            .generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specifications accepted by the collection strategies.
+    pub trait SizeRange {
+        /// Draws a target length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s. If the element domain is too small for
+    /// the drawn size the set is returned with as many distinct
+    /// elements as could be found (upstream rejects instead).
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = HashSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 64 * (target + 1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed; aborts the whole test.
+        Fail(String),
+        /// `prop_assume!` filtered this case out; a fresh one is drawn.
+        Reject(String),
+    }
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one property: draws cases until `config.cases` pass, a
+    /// case fails (panic), or too many are rejected (panic).
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse::<u64>().unwrap_or_else(|_| fnv1a(&v)),
+            Err(_) => fnv1a(name),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let max_rejects = config.cases.saturating_mul(16).saturating_add(256);
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property `{name}`: too many rejected cases \
+                             ({rejected} rejects for {passed} passes)"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{name}` failed after {passed} passing case(s) \
+                         [seed {seed}; rerun with PROPTEST_SEED={seed}]: {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Strategy, StringStrategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running [`test_runner::run`] over drawn cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Route through "{}" so braces in the stringified condition are
+        // not misread as format placeholders.
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case unless the condition holds; the runner
+/// draws a replacement case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_strategy_matches_class_pattern() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_generates_varied_lengths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let lens: std::collections::HashSet<usize> = (0..100)
+            .map(|_| Strategy::generate(&".*", &mut rng).chars().count())
+            .collect();
+        assert!(lens.len() > 3);
+        assert!(lens.iter().all(|&l| l <= 8));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            xs in collection::vec(0.0f64..1.0, 0..10),
+            n in 1usize..5,
+            s in "[a-d]{2}"
+        ) {
+            prop_assume!(n > 0);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert_eq!(s.len(), 2);
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn hash_set_sizes(set in collection::hash_set(0usize..10, 1..5)) {
+            prop_assert!(!set.is_empty() && set.len() < 5);
+            prop_assert!(set.iter().all(|&v| v < 10));
+        }
+    }
+}

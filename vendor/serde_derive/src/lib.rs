@@ -1,0 +1,414 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! No `syn`/`quote` (the build is offline): the item is parsed with a
+//! hand-rolled walk over `proc_macro::TokenTree`s and code is generated
+//! as a string. Supported shapes — the ones this workspace derives:
+//!
+//! * structs with named fields;
+//! * tuple structs (single-field newtypes serialize transparently,
+//!   wider tuples as arrays);
+//! * enums whose variants are unit or struct-like (externally tagged,
+//!   matching upstream serde's default representation).
+//!
+//! Generics and tuple enum variants are rejected with a panic at
+//! expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// True when `tokens[i]` starts an attribute (`#[...]` or `#![...]`).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 1,
+                    _ => panic!("serde_derive: malformed attribute"),
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a field-list token slice on top-level commas (angle-bracket
+/// depth aware) and returns the declared field names.
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        if i >= group.len() {
+            break;
+        }
+        i = skip_vis(group, i);
+        let name = match group.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match group.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle: i32 = 0;
+        while i < group.len() {
+            match &group[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &[TokenTree]) -> usize {
+    if group.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut fields = 1;
+    for t in group {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        if i >= group.len() {
+            break;
+        }
+        let name = match group.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive: tuple enum variant `{name}` is not supported")
+            }
+            _ => Fields::Unit,
+        };
+        // Optional discriminant is unsupported; expect `,` or end.
+        if let Some(TokenTree::Punct(p)) = group.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            } else {
+                panic!("serde_derive: unexpected token after variant `{name}`");
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(&inner)),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(&inner)),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Item::Enum {
+                    name,
+                    variants: parse_variants(&inner),
+                }
+            }
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derives `serde::Serialize` (the offline stand-in's trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pushes: String = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "obj.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f})));\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                         = ::std::vec::Vec::new();\n{pushes}::serde::Value::Obj(obj)"
+                    )
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                        .collect();
+                    format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),\n"
+                        ),
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push((::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut inner: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Obj(inner))])\n}}\n"
+                            )
+                        }
+                        Fields::Tuple(_) => unreachable!("rejected during parsing"),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (the offline stand-in's trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let field_inits: String = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(v.get(\"{f}\")\
+                                 .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if v.as_obj().is_none() {{\n\
+                         return ::std::result::Result::Err(\
+                         ::serde::Error::type_mismatch(\"object\", v));\n}}\n\
+                         ::std::result::Result::Ok({name} {{\n{field_inits}}})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|idx| format!("::serde::Deserialize::from_value(&arr[{idx}])?"))
+                        .collect();
+                    format!(
+                        "let arr = v.as_arr().ok_or_else(|| \
+                         ::serde::Error::type_mismatch(\"array\", v))?;\n\
+                         if arr.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong tuple arity for {name}\"));\n}}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match &v.fields {
+                    Fields::Named(fields) => {
+                        let vname = &v.name;
+                        let field_inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname} {{\n{field_inits}}}),\n"
+                        ))
+                    }
+                    _ => None,
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n}},\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::type_mismatch(\"enum {name}\", other)),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
