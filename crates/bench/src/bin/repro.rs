@@ -113,8 +113,28 @@ impl Reporter {
     }
 }
 
+/// Lints the checkout before spending hours regenerating figures: a
+/// numeric-contract violation (LINT.md) would silently corrupt every
+/// number this binary reports. Skippable with `REPRO_SKIP_LINT=1`;
+/// silently a no-op when run outside a source checkout.
+fn lint_preflight() {
+    if std::env::var_os("REPRO_SKIP_LINT").is_some() {
+        return;
+    }
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if let Err(report) = mp_lint::preflight(&root) {
+        eprintln!("{report}");
+        eprintln!(
+            "repro: mp-lint preflight failed — fix the findings above (or set \
+             REPRO_SKIP_LINT=1 to run anyway)"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    lint_preflight();
     let want = |name: &str| args.exp == "all" || args.exp == name;
     let mut reporter = Reporter::new(args.out.clone());
     let t0 = Instant::now();

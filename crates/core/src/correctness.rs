@@ -68,13 +68,18 @@ impl CorrectnessMetric {
 /// total order and the exact formulas stay aligned with the Monte-Carlo
 /// oracle.
 ///
-/// # Panics
-/// Panics if either relevancy is NaN (relevancies are finite by
-/// construction).
+/// Implemented with [`mp_stats::float::total_cmp_desc`], a *total*
+/// order: `0.0` and `-0.0` tie (and fall through to the index
+/// tie-break) exactly as IEEE `==` would have it, and a NaN — a
+/// programming error upstream, rejected by a debug assertion — ranks
+/// after every real value in release builds instead of panicking
+/// mid-sort.
 pub fn rank_order(i: usize, vi: f64, j: usize, vj: f64) -> std::cmp::Ordering {
-    vj.partial_cmp(&vi)
-        .expect("relevancies are finite")
-        .then(i.cmp(&j))
+    debug_assert!(
+        !vi.is_nan() && !vj.is_nan(),
+        "relevancies are finite by construction"
+    );
+    mp_stats::float::total_cmp_desc(vi, vj).then(i.cmp(&j))
 }
 
 /// The true top-k databases given every database's actual relevancy,
@@ -135,6 +140,29 @@ mod tests {
         assert_eq!(rank_order(0, 7.0, 1, 7.0), Ordering::Less);
         assert_eq!(rank_order(1, 7.0, 0, 7.0), Ordering::Greater);
         assert_eq!(rank_order(2, 7.0, 2, 7.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn rank_order_signed_zeros_tie_on_index() {
+        // Regression: with a raw `f64::total_cmp`, `-0.0` would rank
+        // *after* `+0.0` and the index tie-break would never fire,
+        // making the selection order depend on the sign of a zero. The
+        // canonicalizing comparator must treat the zeros as equal.
+        use std::cmp::Ordering;
+        assert_eq!(rank_order(0, -0.0, 1, 0.0), Ordering::Less);
+        assert_eq!(rank_order(0, 0.0, 1, -0.0), Ordering::Less);
+        assert_eq!(rank_order(1, -0.0, 0, 0.0), Ordering::Greater);
+    }
+
+    #[test]
+    fn golden_topk_pins_selection_order_on_exact_ties() {
+        // All-equal relevancies (the degenerate exact-tie input): the
+        // selection must be the lowest indices, in index order, no
+        // matter how the zeros are signed.
+        assert_eq!(golden_topk(&[0.0, -0.0, 0.0, -0.0], 2), vec![0, 1]);
+        assert_eq!(golden_topk(&[5.0, 5.0, 5.0], 2), vec![0, 1]);
+        // A tie below a strict maximum: max first, then lower tied index.
+        assert_eq!(golden_topk(&[3.0, 7.0, 3.0], 2), vec![1, 0]);
     }
 
     #[test]

@@ -23,9 +23,11 @@ pub struct ErrorDistribution {
 impl ErrorDistribution {
     /// An empty ED over the config's bins.
     pub fn new(config: &CoreConfig) -> Self {
-        Self {
+        let ed = Self {
             hist: Histogram::new(config.ed_bins()),
-        }
+        };
+        debug_assert!(ed.samples() == 0, "a fresh ED must start with zero samples");
+        ed
     }
 
     /// Records one observed error.
@@ -46,7 +48,10 @@ impl ErrorDistribution {
     /// The ED as a discrete distribution over representative error
     /// values; `None` when no samples were recorded.
     pub fn to_discrete(&self) -> Option<Discrete> {
-        self.hist.to_discrete().ok()
+        self.hist
+            .to_discrete()
+            .ok()
+            .inspect(|d| d.debug_assert_normalized())
     }
 
     /// Merges another ED over the same bins.

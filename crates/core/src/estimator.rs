@@ -1,6 +1,7 @@
 //! Summary-based relevancy estimators.
 
 use mp_hidden::ContentSummary;
+use mp_stats::float::exact_zero;
 use mp_workload::Query;
 
 /// A relevancy estimator: predicts `r̂(db, q)` from a locally stored
@@ -35,14 +36,14 @@ impl RelevancyEstimator for IndependenceEstimator {
     }
 
     fn estimate(&self, summary: &ContentSummary, query: &Query) -> f64 {
-        let n = summary.size() as f64;
-        if n == 0.0 {
+        let n = f64::from(summary.size());
+        if exact_zero(n) {
             return 0.0;
         }
         let mut est = n;
         for &t in query.terms() {
-            est *= summary.df(t) as f64 / n;
-            if est == 0.0 {
+            est *= f64::from(summary.df(t)) / n;
+            if exact_zero(est) {
                 return 0.0;
             }
         }
@@ -76,21 +77,21 @@ impl RelevancyEstimator for MaxSimilarityEstimator {
     }
 
     fn estimate(&self, summary: &ContentSummary, query: &Query) -> f64 {
-        let n = summary.size() as f64;
-        if n == 0.0 {
+        let n = f64::from(summary.size());
+        if exact_zero(n) {
             return 0.0;
         }
         let mut covered = 0.0;
         let mut total = 0.0;
         for &t in query.terms() {
-            let df = summary.df(t) as f64;
+            let df = f64::from(summary.df(t));
             let w = (1.0 + n / (1.0 + df)).ln();
             total += w * w;
             if df > 0.0 {
                 covered += w * w;
             }
         }
-        if total == 0.0 {
+        if exact_zero(total) {
             0.0
         } else {
             (covered / total).sqrt()

@@ -22,6 +22,7 @@
 //! an independent oracle in tests.
 
 use crate::correctness::{golden_topk, CorrectnessMetric};
+use mp_stats::float::{canonical, exact_zero};
 use mp_stats::poisson_binomial::at_most;
 use mp_stats::Discrete;
 use rand::Rng;
@@ -96,10 +97,14 @@ impl RdState {
             !actual.is_nan(),
             "probe outcome for database {i} is NaN; relevancies are finite by construction"
         );
+        // `canonical` folds a caller-supplied `-0.0` to `+0.0`:
+        // `f64::max` leaves the sign of a zero result unspecified, and a
+        // negative zero in an RD support would make the serialized state
+        // and the rank order's `total_cmp` tie-breaking platform-dependent.
         let floored = if actual.is_nan() {
             0.0
         } else {
-            actual.max(0.0)
+            canonical(actual.max(0.0))
         };
         self.rds[i] = Discrete::impulse(floored);
         self.probed[i] = true;
@@ -196,17 +201,17 @@ pub fn expected_absolute(rds: &[Discrete], set: &[usize]) -> f64 {
                 if j2 != j {
                     p *= 1.0 - prob_beats(rds, j2, v, j);
                 }
-                if p == 0.0 {
+                if exact_zero(p) {
                     break;
                 }
             }
-            if p == 0.0 {
+            if exact_zero(p) {
                 continue;
             }
             // Every selected database must beat (v, j).
             for &i in set {
                 p *= prob_beats(rds, i, v, j);
-                if p == 0.0 {
+                if exact_zero(p) {
                     break;
                 }
             }
@@ -361,10 +366,13 @@ mod tests {
         state.probe(0, -3.5);
         assert!(state.rds()[0].is_impulse());
         assert_eq!(state.rds()[0].mean(), 0.0);
-        // -0.0 normalizes to the same impulse; +0.0 passes through.
+        // -0.0 normalizes to the same impulse — *bit-identically* (the
+        // regression this pins: `f64::max` may preserve the sign of a
+        // zero, which would leak into serialized RDs and tie-breaking).
         let mut state = RdState::new(paper_rds());
         state.probe(0, -0.0);
         assert_eq!(state.rds()[0].mean(), 0.0);
+        assert_eq!(state.rds()[0].points()[0].0.to_bits(), 0.0f64.to_bits());
         let mut state = RdState::new(paper_rds());
         state.probe(1, 0.0);
         assert_eq!(state.rds()[1].mean(), 0.0);

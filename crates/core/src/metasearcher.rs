@@ -118,6 +118,7 @@ impl Metasearcher {
     }
 
     /// The query's relevancy distributions across all databases.
+    // mp-lint: allow(L6): pure delegation to derive_all_rds, which asserts
     pub fn rds(&self, query: &Query) -> Vec<Discrete> {
         derive_all_rds(&self.estimates(query), query, &self.library)
     }

@@ -75,7 +75,9 @@ impl QueryType {
             thresholds.windows(2).all(|w| w[0] < w[1]),
             "thresholds must be strictly ascending"
         );
-        let coverage = thresholds.iter().filter(|&&t| estimate >= t).count() as u8;
+        let cleared = thresholds.iter().filter(|&&t| estimate >= t).count();
+        let coverage =
+            u8::try_from(cleared).expect("coverage ladders have far fewer than 256 rungs");
         Self {
             arity: ArityBucket::of(n_terms),
             coverage,
@@ -90,9 +92,11 @@ impl QueryType {
 
     /// All query types for a ladder of `n_thresholds`, in stable order.
     pub fn all(n_thresholds: usize) -> Vec<QueryType> {
+        let max_cov =
+            u8::try_from(n_thresholds).expect("coverage ladders have far fewer than 256 rungs");
         let mut out = Vec::new();
         for arity in ArityBucket::all() {
-            for coverage in 0..=n_thresholds as u8 {
+            for coverage in 0..=max_cov {
                 out.push(QueryType { arity, coverage });
             }
         }
@@ -103,7 +107,8 @@ impl QueryType {
     /// coverage buckets of the same arity first (closest informative
     /// leaf), then the other arities in the same spread order.
     pub fn fallbacks(&self, n_thresholds: usize) -> Vec<QueryType> {
-        let max_cov = n_thresholds as u8;
+        let max_cov =
+            u8::try_from(n_thresholds).expect("coverage ladders have far fewer than 256 rungs");
         let coverage_order = |base: u8| -> Vec<u8> {
             let mut order = Vec::new();
             for d in 1..=max_cov {

@@ -18,12 +18,14 @@ use mp_workload::Query;
 /// coincide with the estimation baseline for that database.
 pub fn derive_rd(estimate: f64, ed: Option<&ErrorDistribution>, config: &CoreConfig) -> Discrete {
     let base = estimate.max(config.est_floor);
-    match ed.and_then(ErrorDistribution::to_discrete) {
+    let rd = match ed.and_then(ErrorDistribution::to_discrete) {
         Some(errors) => errors
             .map_values(|e| (base * (1.0 + e)).max(0.0))
             .expect("non-empty error distribution maps to non-empty RD"),
         None => Discrete::impulse(estimate.max(0.0)),
-    }
+    };
+    rd.debug_assert_normalized();
+    rd
 }
 
 /// Derives the RDs of a query against every database in one call,
@@ -31,6 +33,7 @@ pub fn derive_rd(estimate: f64, ed: Option<&ErrorDistribution>, config: &CoreCon
 /// database-dependent: paper Section 4.1).
 ///
 /// `estimates[i]` must be the estimator output for database `i`.
+// mp-lint: allow(L6): every element comes from derive_rd, which asserts
 pub fn derive_all_rds(estimates: &[f64], query: &Query, lib: &EdLibrary) -> Vec<Discrete> {
     assert_eq!(
         estimates.len(),

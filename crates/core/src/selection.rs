@@ -4,6 +4,7 @@
 use crate::correctness::CorrectnessMetric;
 use crate::expected::{expected_correctness, marginal_topk_prob};
 use crate::par::par_map_indexed;
+use mp_stats::float::total_cmp_desc;
 use mp_stats::Discrete;
 
 /// Below this many databases a marginal fan-out costs more in fork-join
@@ -23,7 +24,7 @@ fn ranked_marginals(rds: &[Discrete], k: usize) -> Vec<(usize, f64)> {
     .into_iter()
     .enumerate()
     .collect();
-    marginals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    marginals.sort_by(|a, b| total_cmp_desc(a.1, b.1).then(a.0.cmp(&b.0)));
     marginals
 }
 
@@ -33,12 +34,7 @@ fn ranked_marginals(rds: &[Discrete], k: usize) -> Vec<(usize, f64)> {
 pub fn baseline_select(estimates: &[f64], k: usize) -> Vec<usize> {
     assert!(k >= 1 && k <= estimates.len(), "k out of range");
     let mut order: Vec<usize> = (0..estimates.len()).collect();
-    order.sort_by(|&a, &b| {
-        estimates[b]
-            .partial_cmp(&estimates[a])
-            .expect("estimates are finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| total_cmp_desc(estimates[a], estimates[b]).then(a.cmp(&b)));
     order.truncate(k);
     order
 }

@@ -39,7 +39,7 @@ impl DatabaseSpec {
             let rest = (1.0 - focus) / (n_topics - 1) as f64;
             for i in 0..n_topics {
                 if i != topic.index() {
-                    mixture.push((TopicId(i as u32), rest));
+                    mixture.push((TopicId::from_index(i), rest));
                 }
             }
         }
@@ -54,7 +54,9 @@ impl DatabaseSpec {
 
     /// A generalist database: uniform mixture over all topics.
     pub fn generalist(name: impl Into<String>, size: usize, n_topics: usize, seed: u64) -> Self {
-        let mixture = (0..n_topics).map(|i| (TopicId(i as u32), 1.0)).collect();
+        let mixture = (0..n_topics)
+            .map(|i| (TopicId::from_index(i), 1.0))
+            .collect();
         Self {
             name: name.into(),
             size,

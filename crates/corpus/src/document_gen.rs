@@ -107,7 +107,12 @@ impl<'m> DocumentGenerator<'m> {
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let len = (self.config.len_log_mean + self.config.len_log_std * z).exp();
-        (len.round() as i64).clamp(self.config.min_len as i64, self.config.max_len as i64) as u32
+        // Checked rounding (saturating on the log-normal's unbounded
+        // upper tail), then the configured clamp.
+        mp_stats::float::round_u64(len)
+            .and_then(|l| u32::try_from(l).ok())
+            .unwrap_or(u32::MAX)
+            .clamp(self.config.min_len, self.config.max_len)
     }
 
     /// Generates one document.
@@ -120,7 +125,7 @@ impl<'m> DocumentGenerator<'m> {
                 if pick >= primary.index() {
                     pick += 1;
                 }
-                Some(TopicId(pick as u32))
+                Some(TopicId::from_index(pick))
             } else {
                 None
             };

@@ -143,7 +143,8 @@ impl Scenario {
 fn logu_size<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, scale: f64) -> usize {
     let x = rng.gen::<f64>();
     let size = (lo.ln() + x * (hi.ln() - lo.ln())).exp() * scale;
-    (size.round() as usize).max(50)
+    let rounded = mp_stats::float::round_u64(size).unwrap_or(50);
+    usize::try_from(rounded).unwrap_or(usize::MAX).max(50)
 }
 
 fn newsgroup_specs(config: &ScenarioConfig, model: &TopicModel) -> Vec<DatabaseSpec> {
@@ -151,7 +152,7 @@ fn newsgroup_specs(config: &ScenarioConfig, model: &TopicModel) -> Vec<DatabaseS
     let n_topics = model.n_topics();
     (0..config.n_databases)
         .map(|i| {
-            let topic = TopicId((i % n_topics) as u32);
+            let topic = TopicId::from_index(i % n_topics);
             // Paper newsgroups: 2.8k–80k articles; scaled to 600–5000 at
             // scale 1.0 for laptop runtimes (documented substitution).
             let size = logu_size(&mut rng, 600.0, 5000.0, config.scale);
@@ -196,10 +197,10 @@ fn health_specs(config: &ScenarioConfig, model: &TopicModel) -> Vec<DatabaseSpec
 
     let mut specs = Vec::with_capacity(n);
     for i in 0..n_special {
-        let main = (i % n_topics) as u32;
-        let second = ((i + 1 + i / n_topics) % n_topics) as u32;
+        let main = i % n_topics;
+        let second = (i + 1 + i / n_topics) % n_topics;
         // Full-domain coverage with heavy emphasis on two subtopics.
-        let mixture: Vec<(TopicId, f64)> = (0..n_topics as u32)
+        let mixture: Vec<(TopicId, f64)> = (0..n_topics)
             .map(|t| {
                 let w = if t == main {
                     8.0 + rng.gen::<f64>() * 6.0
@@ -208,7 +209,7 @@ fn health_specs(config: &ScenarioConfig, model: &TopicModel) -> Vec<DatabaseSpec
                 } else {
                     0.6 + rng.gen::<f64>() * 0.8
                 };
-                (TopicId(t), w)
+                (TopicId::from_index(t), w)
             })
             .collect();
         // Paper health DBs: 4k–630k docs; scaled to 500–8000 at scale 1.

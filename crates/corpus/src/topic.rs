@@ -17,6 +17,13 @@ impl TopicId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from a usize index with an explicit range check
+    /// (topic counts are tiny; overflowing `u32` means a caller bug).
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self(u32::try_from(i).expect("topic counts are tiny; indices always fit u32"))
+    }
 }
 
 /// Configuration of the topic model.
@@ -188,7 +195,7 @@ impl TopicModel {
 
     /// Iterates all topic ids.
     pub fn topic_ids(&self) -> impl Iterator<Item = TopicId> {
-        (0..self.topics.len() as u32).map(TopicId)
+        (0..self.topics.len()).map(TopicId::from_index)
     }
 }
 

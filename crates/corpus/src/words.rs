@@ -32,7 +32,8 @@ pub fn pseudo_word(i: u64) -> String {
     if n > 0 {
         // Mixed-radix overflow: encode the remainder in base-26 letters.
         while n > 0 {
-            word.push((b'a' + (n % 26) as u8) as char);
+            let digit = u8::try_from(n % 26).expect("a mod-26 remainder always fits in u8");
+            word.push((b'a' + digit) as char);
             n /= 26;
         }
     }

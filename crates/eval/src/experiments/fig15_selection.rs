@@ -23,7 +23,7 @@ impl Fig15Result {
     /// Relative improvement of RD-based over the baseline on
     /// `Avg(Cor_a)` at k = 1 — the paper reports 38.2% on its testbed.
     pub fn k1_relative_improvement(&self) -> f64 {
-        if self.baseline_k1.avg_cor_a == 0.0 {
+        if mp_stats::float::exact_zero(self.baseline_k1.avg_cor_a) {
             return 0.0;
         }
         (self.rd_k1.avg_cor_a - self.baseline_k1.avg_cor_a) / self.baseline_k1.avg_cor_a

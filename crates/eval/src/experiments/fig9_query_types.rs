@@ -40,10 +40,11 @@ pub fn run_fig9(tb: &Testbed, db: usize) -> Fig9Result {
         }
     };
 
-    let n_thresholds = tb.config.core.coverage_thresholds.len();
+    let n_thresholds = u8::try_from(tb.config.core.coverage_thresholds.len())
+        .expect("coverage ladders have far fewer than 256 rungs");
     let mut wanted = Vec::new();
     for arity in [ArityBucket::Two, ArityBucket::ThreeUp] {
-        for coverage in 0..=n_thresholds as u8 {
+        for coverage in 0..=n_thresholds {
             wanted.push(QueryType { arity, coverage });
         }
     }
@@ -90,7 +91,9 @@ pub fn render_fig9(result: &Fig9Result) -> String {
             out.push_str("    (untrained leaf — falls back to sibling ED)\n");
         }
         for (label, p) in &leaf.bars {
-            let bar = "#".repeat((p * 40.0).round() as usize);
+            let bar_len = mp_stats::float::round_u64((p * 40.0).clamp(0.0, 40.0))
+                .expect("clamped bar length is a small finite value");
+            let bar = "#".repeat(usize::try_from(bar_len).expect("bar length is at most 40"));
             out.push_str(&format!("    {label:>14} {p:>6.3} {bar}\n"));
         }
     }

@@ -24,36 +24,21 @@ pub struct MethodScores {
     pub n_queries: usize,
 }
 
-/// Maps `f` over query indices `0..n` on a small thread pool, preserving
-/// order. Uses scoped threads so `f` may borrow the testbed.
+/// Below this many queries a fork-join costs more than the per-query
+/// work it spreads (mirrors the old local cutoff of 8 queries).
+const QUERY_PAR_MIN: usize = 8;
+
+/// Maps `f` over query indices `0..n`, preserving order. Delegates to
+/// [`mp_core::par::par_map_indexed`] — the workspace's single sanctioned
+/// fork-join primitive (lint rule L4) — so thread management, the
+/// `parallel` feature gate, and the bit-identical sequential fallback
+/// all live in one place.
 pub fn par_map_queries<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    if threads <= 1 || n < 8 {
-        return (0..n).map(f).collect();
-    }
-    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (c, slot) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (off, out) in slot.iter_mut().enumerate() {
-                    *out = Some(f(c * chunk + off));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|o| o.expect("all filled"))
-        .collect()
+    mp_core::par::par_map_indexed(n, QUERY_PAR_MIN, f)
 }
 
 /// Evaluates the term-independence baseline (estimate ranking).

@@ -200,6 +200,7 @@ impl Testbed {
     }
 
     /// The query's relevancy distributions across every database.
+    // mp-lint: allow(L6): pure delegation to derive_all_rds, which asserts
     pub fn rds(&self, query: &mp_workload::Query) -> Vec<mp_stats::Discrete> {
         mp_core::rd::derive_all_rds(&self.estimates(query), query, &self.library)
     }

@@ -97,7 +97,10 @@ impl SimulatedHiddenDb {
 
     /// The probe queries issued so far (clone of the log).
     pub fn probe_log(&self) -> Vec<Vec<TermId>> {
-        self.probe_log.lock().unwrap().clone()
+        self.probe_log
+            .lock()
+            .expect("probe-log mutex poisoned: a prior holder panicked")
+            .clone()
     }
 
     /// Direct index access for golden-standard construction in the
@@ -115,7 +118,10 @@ impl HiddenWebDatabase for SimulatedHiddenDb {
 
     fn search(&self, query: &[TermId], top_n: usize) -> SearchResponse {
         self.probes.fetch_add(1, Ordering::Relaxed);
-        self.probe_log.lock().unwrap().push(query.to_vec());
+        self.probe_log
+            .lock()
+            .expect("probe-log mutex poisoned: a prior holder panicked")
+            .push(query.to_vec());
         SearchResponse {
             match_count: self.index.count_matching(query),
             top_docs: self.index.cosine_topk(query, top_n),
@@ -136,7 +142,10 @@ impl HiddenWebDatabase for SimulatedHiddenDb {
 
     fn reset_probes(&self) {
         self.probes.store(0, Ordering::Relaxed);
-        self.probe_log.lock().unwrap().clear();
+        self.probe_log
+            .lock()
+            .expect("probe-log mutex poisoned: a prior holder panicked")
+            .clear();
     }
 }
 

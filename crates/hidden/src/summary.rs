@@ -84,7 +84,8 @@ impl ContentSummary {
                 sampled.entry(hit.doc).or_insert_with(|| db.fetch(hit.doc));
             }
         }
-        let sample_size = sampled.len() as u32;
+        let sample_size = u32::try_from(sampled.len())
+            .expect("sample sizes are bounded by queries issued, far below u32::MAX");
         // Raw dfs over the sample.
         let mut df: HashMap<TermId, u32> = HashMap::new();
         for doc in sampled.values() {
@@ -105,9 +106,12 @@ impl ContentSummary {
                 .max(sample_size)
         });
         if sample_size > 0 && size > sample_size {
-            let scale = size as f64 / sample_size as f64;
+            let scale = f64::from(size) / f64::from(sample_size);
             for v in df.values_mut() {
-                *v = ((*v as f64) * scale).round().max(1.0) as u32;
+                let scaled = (f64::from(*v) * scale).max(1.0);
+                // A scaled df cannot exceed the database size; saturate
+                // anyway so a pathological hint cannot wrap.
+                *v = mp_stats::float::round_u32(scaled).unwrap_or(u32::MAX);
             }
         }
         for v in df.values_mut() {

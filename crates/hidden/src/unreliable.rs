@@ -83,7 +83,10 @@ impl HiddenWebDatabase for UnreliableDb {
 
     fn search(&self, query: &[TermId], top_n: usize) -> SearchResponse {
         let (fail, noise_factor) = {
-            let mut rng = self.rng.lock().unwrap();
+            let mut rng = self
+                .rng
+                .lock()
+                .expect("rng mutex poisoned: a prior holder panicked");
             let fail = rng.gen::<f64>() < self.failure_rate;
             let noise = if rng.gen::<f64>() < self.noise_rate {
                 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * self.noise_span
@@ -103,8 +106,14 @@ impl HiddenWebDatabase for UnreliableDb {
             };
         }
         let mut resp = self.inner.search(query, top_n);
-        if noise_factor != 1.0 {
-            resp.match_count = ((resp.match_count as f64) * noise_factor).round().max(0.0) as u32;
+        // `exact_one` (not an epsilon test): the no-noise branch above
+        // sets the factor to the literal 1.0, so only that sentinel
+        // means "leave the count untouched".
+        if !mp_stats::float::exact_one(noise_factor) {
+            let noised = f64::from(resp.match_count) * noise_factor;
+            // Saturate on the (unreachable in practice) overflow rather
+            // than wrapping: a stale counter can only exaggerate so far.
+            resp.match_count = mp_stats::float::round_u32(noised.max(0.0)).unwrap_or(u32::MAX);
         }
         resp
     }

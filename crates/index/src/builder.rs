@@ -46,7 +46,8 @@ impl IndexBuilder {
 
     /// Finalizes the index, precomputing per-document tf-idf norms.
     pub fn build(self) -> InvertedIndex {
-        let doc_count = self.doc_lens.len() as u32;
+        let doc_count = u32::try_from(self.doc_lens.len())
+            .expect("document ids are u32 by design; collections stay below u32::MAX docs");
         let mut index = InvertedIndex {
             postings: self.postings,
             doc_lens: self.doc_lens,

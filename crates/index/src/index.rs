@@ -36,8 +36,14 @@ impl InvertedIndex {
     pub fn df(&self, term: TermId) -> u32 {
         self.postings
             .get(term.index())
-            .map(|p| p.len() as u32)
+            .map(|p| Self::posting_len(p))
             .unwrap_or(0)
+    }
+
+    /// A postings list's length as the df width (a list holds at most
+    /// one posting per document, and document counts are `u32`).
+    fn posting_len(p: &[Posting]) -> u32 {
+        u32::try_from(p.len()).expect("postings hold at most doc_count (u32) entries")
     }
 
     /// Postings list for a term (empty slice if unseen).
@@ -77,7 +83,9 @@ impl InvertedIndex {
             return match collect {
                 None => MatchOutcome::Count(self.doc_count),
                 Some(limit) => {
-                    MatchOutcome::Docs((0..self.doc_count.min(limit as u32)).map(DocId).collect())
+                    // Saturate: `limit` is usually `usize::MAX` ("all").
+                    let limit = u32::try_from(limit).unwrap_or(u32::MAX);
+                    MatchOutcome::Docs((0..self.doc_count.min(limit)).map(DocId).collect())
                 }
             };
         }
@@ -112,7 +120,9 @@ impl InvertedIndex {
             }
         }
         match collect {
-            None => MatchOutcome::Count(current.len() as u32),
+            None => MatchOutcome::Count(
+                u32::try_from(current.len()).expect("matches are bounded by doc_count, a u32"),
+            ),
             Some(limit) => {
                 current.truncate(limit);
                 MatchOutcome::Docs(current)
@@ -152,7 +162,7 @@ impl InvertedIndex {
             }
         }
         let qnorm = qnorm2.sqrt();
-        if qnorm == 0.0 {
+        if mp_stats::float::exact_zero(qnorm) {
             return Vec::new();
         }
         let mut topk = TopK::new(k);
@@ -185,7 +195,7 @@ impl InvertedIndex {
         let mut map = HashMap::new();
         for (i, p) in self.postings.iter().enumerate() {
             if !p.is_empty() {
-                map.insert(TermId(i as u32), p.len() as u32);
+                map.insert(Self::term_at(i), Self::posting_len(p));
             }
         }
         (map, self.doc_count)
@@ -202,10 +212,17 @@ impl InvertedIndex {
         let mut d = Document::new();
         for (i, postings) in self.postings.iter().enumerate() {
             if let Ok(pos) = postings.binary_search_by_key(&doc, |p| p.doc) {
-                d.add_term(TermId(i as u32), postings[pos].tf);
+                d.add_term(Self::term_at(i), postings[pos].tf);
             }
         }
         d
+    }
+
+    /// The dense postings slot `i` as a [`TermId`] (term ids are `u32`
+    /// by design; the vocabulary is built with `u32` ids, so a slot
+    /// index always fits).
+    fn term_at(i: usize) -> TermId {
+        TermId(u32::try_from(i).expect("term ids are u32 by vocabulary construction"))
     }
 }
 

@@ -1,0 +1,568 @@
+//! A hand-rolled, lossless-enough Rust lexer.
+//!
+//! The rules in this crate are *token-level*: they never need a full
+//! parse tree, but they must never be fooled by `==` inside a string
+//! literal, `unwrap()` inside a comment, or a lifetime that looks like
+//! an unterminated char literal. This lexer therefore handles, exactly:
+//! line & nested block comments, string / raw string / byte string /
+//! c-string literals with arbitrary `#` guards, char literals vs
+//! lifetimes, numeric literals with suffixes and exponents, and
+//! multi-character operators (longest match).
+//!
+//! It is intentionally forgiving: unknown bytes become one-character
+//! punct tokens and an unterminated literal runs to end of file rather
+//! than aborting the scan — a linter must degrade, not crash.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `unwrap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (including hex/octal/binary and int suffixes).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e-3`, `2.5f64`).
+    Float,
+    /// String-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Operator or delimiter; multi-character operators are one token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Raw source text of the token (quotes/guards included for
+    /// literals, `//`/`/*` markers included for comments).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for comment tokens.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// The inner content of a string-like literal (prefix, `#` guards
+    /// and quotes stripped); `None` for non-string tokens.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let s = self.text.trim_start_matches(['r', 'b', 'c']);
+        let s = s.trim_start_matches('#');
+        let s = s.strip_prefix('"')?;
+        let s = s.trim_end_matches('#');
+        s.strip_suffix('"').or(Some(s))
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->", "=>", "::",
+    "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes a full source file into tokens (comments included, whitespace
+/// dropped). Never fails: malformed input degrades to punct tokens.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let tok = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if let Some(t) = try_lex_string_like(&mut cur) {
+            t
+        } else if c == '\'' {
+            lex_char_or_lifetime(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else {
+            lex_punct(&mut cur)
+        };
+        out.push(Token {
+            kind: tok.0,
+            text: tok.1,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    (TokKind::LineComment, text)
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokKind::BlockComment, text)
+}
+
+/// Recognizes `"…"`, and the prefixed forms `r"…"`, `r#"…"#`, `b"…"`,
+/// `br#"…"#`, `c"…"`, `cr"…"` at the cursor. Returns `None` when the
+/// cursor is not at a string-like literal (e.g. a plain identifier `r`).
+fn try_lex_string_like(cur: &mut Cursor) -> Option<(TokKind, String)> {
+    let c = cur.peek(0)?;
+    if c == '"' {
+        return Some(lex_plain_string(cur, String::new()));
+    }
+    if !matches!(c, 'r' | 'b' | 'c') {
+        return None;
+    }
+    // Collect a candidate prefix of at most two chars (r, b, c, br, cr).
+    let mut prefix = String::from(c);
+    let mut ahead = 1;
+    if let Some(c2) = cur.peek(1) {
+        if matches!((c, c2), ('b', 'r') | ('c', 'r')) {
+            prefix.push(c2);
+            ahead = 2;
+        }
+    }
+    let raw = prefix.ends_with('r');
+    // Count `#` guards (raw forms only), then require an opening quote.
+    let mut hashes = 0usize;
+    if raw {
+        while cur.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+    }
+    if cur.peek(ahead + hashes) != Some('"') {
+        return None;
+    }
+    for _ in 0..ahead + hashes {
+        cur.bump();
+    }
+    let mut text = prefix;
+    for _ in 0..hashes {
+        text.push('#');
+    }
+    if raw {
+        Some(lex_raw_string(cur, text, hashes))
+    } else {
+        Some(lex_plain_string(cur, text))
+    }
+}
+
+fn lex_plain_string(cur: &mut Cursor, mut text: String) -> (TokKind, String) {
+    text.push('"');
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if c == '"' {
+            text.push(c);
+            cur.bump();
+            break;
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokKind::Str, text)
+}
+
+fn lex_raw_string(cur: &mut Cursor, mut text: String, hashes: usize) -> (TokKind, String) {
+    text.push('"');
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            // Close only when followed by the right number of hashes.
+            let closed = (1..=hashes).all(|i| cur.peek(i) == Some('#'));
+            text.push(c);
+            cur.bump();
+            if closed {
+                for _ in 0..hashes {
+                    text.push('#');
+                    cur.bump();
+                }
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokKind::Str, text)
+}
+
+fn lex_char_or_lifetime(cur: &mut Cursor) -> (TokKind, String) {
+    // At a `'`. Lifetime iff an ident follows with no closing quote
+    // right after its first char (`'a`, `'static` — but `'a'` is a char).
+    let next = cur.peek(1);
+    let after = cur.peek(2);
+    let is_lifetime = match next {
+        Some(n) if is_ident_start(n) => after != Some('\''),
+        _ => false,
+    };
+    let mut text = String::new();
+    text.push(cur.bump().expect("cursor at quote"));
+    if is_lifetime {
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return (TokKind::Lifetime, text);
+    }
+    // Char literal: consume escape or single char, then the closing quote.
+    if cur.peek(0) == Some('\\') {
+        text.push(cur.bump().expect("escape backslash"));
+        if let Some(esc) = cur.bump() {
+            text.push(esc);
+            if esc == 'u' {
+                // '\u{…}' — consume through the closing brace.
+                while let Some(c) = cur.peek(0) {
+                    text.push(c);
+                    cur.bump();
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+        }
+    } else if let Some(c) = cur.bump() {
+        text.push(c);
+    }
+    if cur.peek(0) == Some('\'') {
+        text.push('\'');
+        cur.bump();
+    }
+    (TokKind::Char, text)
+}
+
+fn lex_number(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    let mut float = false;
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B')) {
+        // Radix-prefixed integer: digits in the widest class plus `_`.
+        text.push(cur.bump().expect("radix zero"));
+        text.push(cur.bump().expect("radix marker"));
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_hexdigit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else {
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction part — but `1..5` is `1`, `..`, `5` and `1.max(2)` is
+        // a method call, so a `.` joins only when not followed by
+        // another `.` or an identifier start.
+        if cur.peek(0) == Some('.') {
+            let after = cur.peek(1);
+            let joins = match after {
+                Some(c) => c.is_ascii_digit() || !(c == '.' || is_ident_start(c)),
+                None => true,
+            };
+            if joins {
+                float = true;
+                text.push('.');
+                cur.bump();
+                while let Some(c) = cur.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Exponent part.
+        if matches!(cur.peek(0), Some('e' | 'E')) {
+            let (sign, digit) = (cur.peek(1), cur.peek(2));
+            let has_exp = match sign {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+' | '-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                _ => false,
+            };
+            if has_exp {
+                float = true;
+                text.push(cur.bump().expect("exponent marker"));
+                if matches!(cur.peek(0), Some('+' | '-')) {
+                    text.push(cur.bump().expect("exponent sign"));
+                }
+                while let Some(c) = cur.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Type suffix (`f64`, `u32`, …) decides the class when present.
+    if matches!(cur.peek(0), Some(c) if is_ident_start(c)) {
+        let mut suffix = String::new();
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        text.push_str(&suffix);
+    }
+    (if float { TokKind::Float } else { TokKind::Int }, text)
+}
+
+fn lex_ident(cur: &mut Cursor) -> (TokKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    (TokKind::Ident, text)
+}
+
+fn lex_punct(cur: &mut Cursor) -> (TokKind, String) {
+    for op in MULTI_PUNCT {
+        if op.chars().enumerate().all(|(i, c)| cur.peek(i) == Some(c)) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return (TokKind::Punct, (*op).to_string());
+        }
+    }
+    let c = cur.bump().expect("cursor at punct");
+    (TokKind::Punct, c.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn operators_use_maximal_munch() {
+        assert_eq!(
+            code_texts("a == b != c -> d => e :: f"),
+            vec!["a", "==", "b", "!=", "c", "->", "d", "=>", "e", "::", "f"]
+        );
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        let toks = kinds("1 1.0 1. 1e-3 2.5f64 3f32 7u32 0xFF 1_000 0b101");
+        let want = [
+            (TokKind::Int, "1"),
+            (TokKind::Float, "1.0"),
+            (TokKind::Float, "1."),
+            (TokKind::Float, "1e-3"),
+            (TokKind::Float, "2.5f64"),
+            (TokKind::Float, "3f32"),
+            (TokKind::Int, "7u32"),
+            (TokKind::Int, "0xFF"),
+            (TokKind::Int, "1_000"),
+            (TokKind::Int, "0b101"),
+        ];
+        for (tok, (k, t)) in toks.iter().zip(want) {
+            assert_eq!(tok, &(k, t.to_string()));
+        }
+    }
+
+    #[test]
+    fn range_does_not_eat_a_fraction() {
+        assert_eq!(code_texts("0..n"), vec!["0", "..", "n"]);
+        assert_eq!(code_texts("1..=5"), vec!["1", "..=", "5"]);
+        // Method call on an integer literal stays an integer.
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".to_string()));
+    }
+
+    #[test]
+    fn comments_swallow_operators_and_calls() {
+        let src = "x // a == b and y.unwrap()\n/* p == 1.0 /* nested */ q.unwrap() */ z";
+        assert_eq!(code_texts(src), vec!["x", "z"]);
+        let comments: Vec<_> = lex(src).into_iter().filter(Token::is_comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("=="));
+        assert!(comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn strings_swallow_operators_and_keep_content() {
+        let src = r#"let s = "a == b \" unwrap()"; t"#;
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+        assert_eq!(s.str_content(), Some(r#"a == b \" unwrap()"#));
+        assert!(code_texts(src).contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r###"r#"x == y "quoted" z"# tail"###;
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[0].str_content(), Some(r#"x == y "quoted" z"#));
+        assert_eq!(toks[1].text, "tail");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = lex(r##"b"bytes" c"cstr" br#"raw"# rest"##);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].kind, TokKind::Str);
+        assert_eq!(toks[2].kind, TokKind::Str);
+        assert_eq!(toks[3].text, "rest");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("'a 'static 'x' '\\n' '\\u{1F600}' '('");
+        assert_eq!(toks[0], (TokKind::Lifetime, "'a".to_string()));
+        assert_eq!(toks[1], (TokKind::Lifetime, "'static".to_string()));
+        assert_eq!(toks[2], (TokKind::Char, "'x'".to_string()));
+        assert_eq!(toks[3].0, TokKind::Char);
+        assert_eq!(toks[4].0, TokKind::Char);
+        assert_eq!(toks[5].0, TokKind::Char);
+    }
+
+    #[test]
+    fn identifier_r_is_not_a_raw_string() {
+        assert_eq!(code_texts("r + b"), vec!["r", "+", "b"]);
+        assert_eq!(code_texts("br(x)"), vec!["br", "(", "x", ")"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd == 1.0");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+        assert_eq!((toks[3].line, toks[3].col), (2, 9));
+    }
+
+    #[test]
+    fn shift_operators_stay_single_tokens() {
+        assert_eq!(code_texts("a >> b << c >>= d"), {
+            vec!["a", ">>", "b", "<<", "c", ">>=", "d"]
+        });
+    }
+}

@@ -1,0 +1,135 @@
+//! L2 — lossy `as` casts on counts and indices.
+//!
+//! Two triggers, both in non-test code:
+//!
+//! 1. `as` into a type that is narrower than the workspace's canonical
+//!    count/index widths (`u64`/`usize`): `u8 u16 u32 i8 i16 i32 f32`.
+//!    These truncate or wrap silently — `DocId(x as u32)` on a corpus
+//!    past 4 Gi documents corrupts every downstream distribution
+//!    without a panic.
+//! 2. `as` into a wide integer (`u64 i64 u128 i128 usize isize`) when
+//!    the operand is textually float-valued: a float literal, or a call
+//!    to a known float-producing method (`round`, `floor`, `sqrt`, …).
+//!    `f64 as usize` saturates and drops the fraction silently.
+//!
+//! Sanctioned replacements: `T::try_from(x).expect("<why it fits>")`
+//! for int→int, widening the variable, or the checked rounding helpers
+//! in `mp_stats::float` (`round_u32`, `round_u64`) for float→int.
+//!
+//! Int→`f64` casts are allowed: every count in this workspace is far
+//! below 2^53, and estimates/relevancies are defined as `f64` by the
+//! paper's model.
+
+use super::{diag_at, matching_open_paren};
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+const WIDE_INT: &[&str] = &["u64", "i64", "u128", "i128", "usize", "isize"];
+const FLOAT_METHODS: &[&str] = &[
+    "round", "ceil", "floor", "trunc", "sqrt", "powf", "powi", "exp", "ln", "log10", "log2",
+];
+
+const HINT: &str = "use T::try_from(x).expect(\"<why it fits>\"), widen the type, \
+                    or mp_stats::float::round_u32/round_u64 for rounded floats";
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in a.code.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || a.is_test[i] {
+            continue;
+        }
+        let Some(target) = a.code.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident {
+            continue;
+        }
+        let ty = target.text.as_str();
+        if NARROW.contains(&ty) {
+            out.push(diag_at(
+                a,
+                "L2",
+                i,
+                format!("potentially lossy `as {ty}` cast (narrower than the canonical count/index width)"),
+                HINT,
+            ));
+        } else if WIDE_INT.contains(&ty) && operand_is_floaty(a, i) {
+            out.push(diag_at(
+                a,
+                "L2",
+                i,
+                format!("float-to-integer `as {ty}` cast drops the fraction silently"),
+                HINT,
+            ));
+        }
+    }
+    out
+}
+
+/// Textual evidence that the expression before `as` produces a float:
+/// a float literal, or `… .m(…)` where `m` is a known float method.
+fn operand_is_floaty(a: &Analysis, as_idx: usize) -> bool {
+    let Some(prev_idx) = as_idx.checked_sub(1) else {
+        return false;
+    };
+    let prev = &a.code[prev_idx];
+    if prev.kind == TokKind::Float {
+        return true;
+    }
+    if prev.kind == TokKind::Punct && prev.text == ")" {
+        if let Some(open) = matching_open_paren(&a.code, prev_idx) {
+            if let Some(callee_idx) = open.checked_sub(1) {
+                let callee = &a.code[callee_idx];
+                return callee.kind == TokKind::Ident
+                    && FLOAT_METHODS.contains(&callee.text.as_str());
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l2_count(src: &str) -> usize {
+        let a = Analysis::build("f.rs", src, FileClass::default());
+        run_rules(&a).iter().filter(|d| d.rule == "L2").count()
+    }
+
+    #[test]
+    fn flags_narrowing_int_casts() {
+        assert_eq!(l2_count("fn f(x: usize) -> u32 { x as u32 }"), 1);
+        assert_eq!(l2_count("fn f(x: u64) -> u8 { x as u8 }"), 1);
+        assert_eq!(l2_count("fn f(x: f64) -> f32 { x as f32 }"), 1);
+    }
+
+    #[test]
+    fn flags_float_to_wide_int() {
+        assert_eq!(l2_count("fn f() -> usize { 2.5 as usize }"), 1);
+        assert_eq!(l2_count("fn f(x: f64) -> i64 { x.round() as i64 }"), 1);
+        assert_eq!(
+            l2_count("fn f(x: f64) -> u64 { (x * 2.0).floor() as u64 }"),
+            1
+        );
+    }
+
+    #[test]
+    fn allows_widening_and_float_targets() {
+        assert_eq!(l2_count("fn f(x: u32) -> u64 { x as u64 }"), 0);
+        assert_eq!(l2_count("fn f(x: usize) -> f64 { x as f64 }"), 0);
+        assert_eq!(l2_count("fn f(x: u32) -> usize { x as usize }"), 0);
+    }
+
+    #[test]
+    fn ignores_test_code_and_use_aliases() {
+        assert_eq!(
+            l2_count("#[cfg(test)]\nmod t { fn f(x: u64) -> u32 { x as u32 } }"),
+            0
+        );
+        assert_eq!(l2_count("use std::io::Write as W;"), 0);
+    }
+}

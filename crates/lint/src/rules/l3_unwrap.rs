@@ -1,0 +1,131 @@
+//! L3 — `unwrap()` / unjustified `expect()` in library crates.
+//!
+//! Library crates (see LINT.md for the list) sit under the probing
+//! engine's hot path; a panic there takes down a whole evaluation run
+//! with no context. Outside `#[cfg(test)]`:
+//!
+//! * `.unwrap()` is always flagged — propagate a `Result`, or use
+//!   `.expect("…")` with a message explaining why failure is impossible.
+//! * `.expect(…)` is flagged unless its argument is a string literal of
+//!   at least [`MIN_EXPECT_MESSAGE`] characters (a real justification,
+//!   not `"oops"`), or a `format!` invocation (dynamic but inherently
+//!   message-bearing).
+//!
+//! `unwrap_or`, `unwrap_or_else`, `unwrap_or_default` are fine — they
+//! do not panic.
+
+use super::diag_at;
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+
+/// Minimum length of an `expect` message that counts as a
+/// justification.
+pub const MIN_EXPECT_MESSAGE: usize = 10;
+
+const HINT: &str = "propagate a Result, or use .expect(\"<why this cannot fail>\") \
+                    with a real justification";
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    if !a.class.l3_library {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in a.code.iter().enumerate() {
+        if t.kind != TokKind::Ident || a.is_test[i] {
+            continue;
+        }
+        let after_dot = i.checked_sub(1).is_some_and(|p| a.code[p].text == ".");
+        let called = a.code.get(i + 1).is_some_and(|n| n.text == "(");
+        if !(after_dot && called) {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" => out.push(diag_at(
+                a,
+                "L3",
+                i,
+                "`.unwrap()` in library code".to_string(),
+                HINT,
+            )),
+            "expect" if !expect_is_justified(a, i + 1) => {
+                out.push(diag_at(
+                    a,
+                    "L3",
+                    i,
+                    format!(
+                        "`.expect(…)` without a justification message \
+                         (string literal of ≥ {MIN_EXPECT_MESSAGE} chars)"
+                    ),
+                    HINT,
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Inspects the first argument token after `expect(`.
+fn expect_is_justified(a: &Analysis, open_paren: usize) -> bool {
+    let mut j = open_paren + 1;
+    // Skip a leading borrow (`&format!(…)`).
+    if a.code.get(j).is_some_and(|t| t.text == "&") {
+        j += 1;
+    }
+    match a.code.get(j) {
+        Some(t) if t.kind == TokKind::Str => t
+            .str_content()
+            .is_some_and(|s| s.len() >= MIN_EXPECT_MESSAGE),
+        Some(t) if t.kind == TokKind::Ident && t.text == "format" => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l3_count(src: &str, library: bool) -> usize {
+        let class = FileClass {
+            l3_library: library,
+            ..FileClass::default()
+        };
+        let a = Analysis::build("f.rs", src, class);
+        run_rules(&a).iter().filter(|d| d.rule == "L3").count()
+    }
+
+    #[test]
+    fn flags_unwrap_and_bare_expect() {
+        assert_eq!(l3_count("fn f() { x().unwrap(); }", true), 1);
+        assert_eq!(l3_count("fn f() { x().expect(\"no\"); }", true), 1);
+        assert_eq!(l3_count("fn f() { x().expect(msg); }", true), 1);
+    }
+
+    #[test]
+    fn allows_justified_expect_and_non_panicking_unwraps() {
+        assert_eq!(
+            l3_count(
+                "fn f() { x().expect(\"estimate floored, never zero\"); }",
+                true
+            ),
+            0
+        );
+        assert_eq!(
+            l3_count("fn f() { x().expect(&format!(\"db {i}\")); }", true),
+            0
+        );
+        assert_eq!(l3_count("fn f() { x().unwrap_or(4); }", true), 0);
+        assert_eq!(l3_count("fn f() { x().unwrap_or_default(); }", true), 0);
+    }
+
+    #[test]
+    fn skips_tests_and_non_library_crates() {
+        assert_eq!(
+            l3_count("#[cfg(test)]\nmod t { fn f() { x().unwrap(); } }", true),
+            0
+        );
+        assert_eq!(l3_count("fn f() { x().unwrap(); }", false), 0);
+    }
+}

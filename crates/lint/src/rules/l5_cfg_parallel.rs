@@ -1,0 +1,143 @@
+//! L5 — `cfg(feature = "parallel")` hygiene.
+//!
+//! The `parallel` feature must be a pure accelerator: `--no-default-features`
+//! builds have to produce the same API and the same results. Every use
+//! of the feature gate therefore needs a serial fallback:
+//!
+//! * **Block position** (`#[cfg(feature = "parallel")] { … }` inside a
+//!   function) is fine — control falls through to the sequential code
+//!   after the block, which *is* the fallback (the `mp-core::par`
+//!   pattern).
+//! * **Item position** (on a `fn`, `mod`, `use`, `impl`, …) requires a
+//!   `#[cfg(not(feature = "parallel"))]` twin somewhere in the same
+//!   file; otherwise the item simply vanishes from serial builds and
+//!   the API drifts.
+//!
+//! `cfg!(feature = "parallel")` in expressions is inherently safe (both
+//! branches compile) and is not matched by this rule.
+
+use super::diag_at;
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{TokKind, Token};
+
+const HINT: &str = "add a #[cfg(not(feature = \"parallel\"))] fallback item in this file, \
+                    or gate a block inside the function so control falls through serially";
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut item_gates: Vec<usize> = Vec::new();
+    let mut negative_gates = 0usize;
+    let mut i = 0usize;
+    while i < a.code.len() {
+        if a.code[i].text != "#" || a.code.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        let close = bracket_close(&a.code, i + 1);
+        let attr = &a.code[i + 2..close.min(a.code.len())];
+        if gates_on_parallel(attr) {
+            if attr.iter().any(|t| t.text == "not") {
+                negative_gates += 1;
+            } else {
+                let next = a.code.get(close + 1);
+                let block_position = next.is_some_and(|t| t.text == "{");
+                if !block_position {
+                    item_gates.push(i);
+                }
+            }
+        }
+        i = close + 1;
+    }
+    if negative_gates > 0 {
+        return Vec::new();
+    }
+    item_gates
+        .into_iter()
+        .map(|idx| {
+            diag_at(
+                a,
+                "L5",
+                idx,
+                "item gated on feature `parallel` with no `not(feature = \"parallel\")` \
+                 fallback in this file"
+                    .to_string(),
+                HINT,
+            )
+        })
+        .collect()
+}
+
+/// True when the attribute tokens are a `cfg`/`cfg_attr` mentioning
+/// `feature = "parallel"`.
+fn gates_on_parallel(attr: &[Token]) -> bool {
+    let is_cfg = matches!(
+        attr.first().map(|t| t.text.as_str()),
+        Some("cfg") | Some("cfg_attr")
+    );
+    if !is_cfg {
+        return false;
+    }
+    attr.windows(3).any(|w| {
+        w[0].text == "feature"
+            && w[1].text == "="
+            && w[2].kind == TokKind::Str
+            && w[2].str_content() == Some("parallel")
+    })
+}
+
+/// Index of the `]` closing the `[` at `open` (bracket depth aware).
+fn bracket_close(code: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l5_count(src: &str) -> usize {
+        let a = Analysis::build("f.rs", src, FileClass::default());
+        run_rules(&a).iter().filter(|d| d.rule == "L5").count()
+    }
+
+    #[test]
+    fn block_position_gate_is_fine() {
+        let src = "fn f() {\n#[cfg(feature = \"parallel\")]\n{ fast(); return; }\nslow(); }";
+        assert_eq!(l5_count(src), 0);
+    }
+
+    #[test]
+    fn item_gate_without_twin_is_flagged() {
+        let src = "#[cfg(feature = \"parallel\")]\nfn fast() {}";
+        assert_eq!(l5_count(src), 1);
+    }
+
+    #[test]
+    fn item_gate_with_not_twin_is_fine() {
+        let src = "#[cfg(feature = \"parallel\")]\nfn go() { fast() }\n\
+                   #[cfg(not(feature = \"parallel\"))]\nfn go() { slow() }";
+        assert_eq!(l5_count(src), 0);
+    }
+
+    #[test]
+    fn other_features_are_ignored() {
+        assert_eq!(l5_count("#[cfg(feature = \"serde\")]\nfn s() {}"), 0);
+        assert_eq!(
+            l5_count("fn f() { if cfg!(feature = \"parallel\") { a() } else { b() } }"),
+            0
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! L7 — deferred-work marker tracking.
+//!
+//! A `TODO` or `FIXME` comment must carry an issue reference in the
+//! form `TODO(#123)` / `FIXME(#45)` so deferred work stays queryable —
+//! untracked markers rot. The rule also flags `todo!()` /
+//! `unimplemented!()` macros in non-test code: a reachable panic stub
+//! is deferred work whether or not it is spelled as a comment.
+//!
+//! Warn by default (it is about process, not numeric soundness);
+//! promoted to deny under `--deny-all`, which is how CI runs.
+
+use super::diag_at;
+use crate::context::Analysis;
+use crate::diagnostics::{Diagnostic, Level};
+use crate::lexer::TokKind;
+
+const MARKERS: &[&str] = &["TODO", "FIXME"];
+
+const HINT: &str = "track it: `TODO(#<issue>): …`, or resolve it before merging";
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in &a.comments {
+        for marker in MARKERS {
+            let Some(pos) = find_marker(&c.text, marker) else {
+                continue;
+            };
+            if !has_issue_ref(&c.text[pos + marker.len()..]) {
+                out.push(Diagnostic {
+                    rule: "L7",
+                    level: Level::Warn,
+                    path: a.path.clone(),
+                    line: c.line,
+                    col: c.col,
+                    message: format!("`{marker}` without an issue reference"),
+                    snippet: c.text.trim().chars().take(80).collect(),
+                    hint: HINT.to_string(),
+                });
+            }
+            break; // one diagnostic per comment
+        }
+    }
+    for (i, t) in a.code.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "todo" | "unimplemented")
+            && a.code.get(i + 1).is_some_and(|n| n.text == "!")
+            && !a.is_test[i]
+        {
+            out.push(diag_at(
+                a,
+                "L7",
+                i,
+                format!("`{}!()` stub in non-test code", t.text),
+                HINT,
+            ));
+        }
+    }
+    out
+}
+
+/// Finds `marker` used *as a marker*: at a word boundary and followed
+/// by `:`, `(`, whitespace, or end of comment. Backtick-quoted mentions
+/// in prose (`` `TODO` ``) are not markers.
+fn find_marker(text: &str, marker: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(rel) = text[from..].find(marker) {
+        let pos = from + rel;
+        let before_ok = text[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric());
+        let after = text[pos + marker.len()..].chars().next();
+        let after_ok =
+            matches!(after, None | Some(':') | Some('(')) || after.is_some_and(char::is_whitespace);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + marker.len();
+    }
+    None
+}
+
+/// After the marker: optional spaces, then `(#<digits>)`.
+fn has_issue_ref(rest: &str) -> bool {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("(#") else {
+        return false;
+    };
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    !digits.is_empty() && rest[digits.len()..].starts_with(')')
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l7_count(src: &str) -> usize {
+        let a = Analysis::build("f.rs", src, FileClass::default());
+        run_rules(&a).iter().filter(|d| d.rule == "L7").count()
+    }
+
+    #[test]
+    fn flags_untracked_markers() {
+        assert_eq!(l7_count("// TODO: make this faster\nfn f() {}"), 1);
+        assert_eq!(l7_count("/* FIXME this is broken */\nfn f() {}"), 1);
+    }
+
+    #[test]
+    fn accepts_issue_referenced_markers() {
+        assert_eq!(l7_count("// TODO(#12): make this faster\nfn f() {}"), 0);
+        assert_eq!(l7_count("// FIXME (#3) edge case at zero\nfn f() {}"), 0);
+    }
+
+    #[test]
+    fn flags_panic_stubs_outside_tests() {
+        assert_eq!(l7_count("fn f() { todo!() }"), 1);
+        assert_eq!(l7_count("fn f() { unimplemented!() }"), 1);
+        assert_eq!(l7_count("#[cfg(test)]\nmod t { fn f() { todo!() } }"), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The rule registry and shared token-walking helpers.
+//!
+//! Every rule is a pure function from a per-file [`Analysis`] to a list
+//! of [`Diagnostic`]s. Rules are token-level heuristics: they trade
+//! full type knowledge for zero dependencies and total predictability —
+//! each rule's exact trigger conditions are documented in LINT.md so a
+//! reader can always answer "why did/didn't this fire?".
+
+mod l1_float_eq;
+mod l2_lossy_cast;
+mod l3_unwrap;
+mod l4_thread;
+mod l5_cfg_parallel;
+mod l6_pmf_audit;
+mod l7_todo;
+
+use crate::context::Analysis;
+use crate::diagnostics::{Diagnostic, Level};
+use crate::lexer::{TokKind, Token};
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Canonical id (`L1` … `L7`, `A0`).
+    pub id: &'static str,
+    /// Human name, also accepted in `allow(...)`.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Default severity (before `--deny-all`).
+    pub default_level: Level,
+}
+
+/// Every rule this linter knows, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "L1",
+        name: "float-eq",
+        summary: "float `==`/`!=` in non-test code",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L2",
+        name: "lossy-cast",
+        summary: "lossy `as` cast on count/index/float values",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L3",
+        name: "unwrap-expect",
+        summary: "`unwrap()`/unjustified `expect()` in library crates",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L4",
+        name: "thread-spawn",
+        summary: "thread spawn/scope outside mp-core::par",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L5",
+        name: "cfg-parallel",
+        summary: "`cfg(feature = \"parallel\")` item without serial fallback",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L6",
+        name: "pmf-audit",
+        summary: "distribution constructor without normalization debug_assert",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L7",
+        name: "todo-ref",
+        summary: "TODO/FIXME without an issue reference",
+        default_level: Level::Warn,
+    },
+    RuleInfo {
+        id: "A0",
+        name: "suppression",
+        summary: "malformed or unjustified mp-lint suppression comment",
+        default_level: Level::Deny,
+    },
+];
+
+/// Looks a rule up by id (`L2`) or name (`lossy-cast`), case-insensitive.
+pub fn rule_by_name(s: &str) -> Option<&'static RuleInfo> {
+    RULES
+        .iter()
+        .find(|r| r.id.eq_ignore_ascii_case(s) || r.name.eq_ignore_ascii_case(s))
+}
+
+fn level_of(id: &str) -> Level {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.default_level)
+        .unwrap_or(Level::Deny)
+}
+
+/// Runs every rule on one analyzed file, applies suppression comments,
+/// and appends the context's own meta diagnostics (which are never
+/// suppressible — they complain about the suppressions themselves).
+pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(l1_float_eq::check(a));
+    out.extend(l2_lossy_cast::check(a));
+    out.extend(l3_unwrap::check(a));
+    out.extend(l4_thread::check(a));
+    out.extend(l5_cfg_parallel::check(a));
+    out.extend(l6_pmf_audit::check(a));
+    out.extend(l7_todo::check(a));
+    out.retain(|d| !a.suppressed(d.rule, d.line));
+    out.extend(a.meta_diags.iter().cloned());
+    out.sort_by_key(|d| (d.line, d.col));
+    out
+}
+
+/// Builds a diagnostic anchored at code token `idx`.
+pub(crate) fn diag_at(
+    a: &Analysis,
+    rule: &'static str,
+    idx: usize,
+    message: String,
+    hint: &str,
+) -> Diagnostic {
+    let t = &a.code[idx];
+    Diagnostic {
+        rule,
+        level: level_of(rule),
+        path: a.path.clone(),
+        line: t.line,
+        col: t.col,
+        message,
+        snippet: snippet_around(a, idx),
+        hint: hint.to_string(),
+    }
+}
+
+/// Reconstructs the offending line's neighborhood from tokens on the
+/// same source line as `idx` (±4 tokens).
+pub(crate) fn snippet_around(a: &Analysis, idx: usize) -> String {
+    let line = a.code[idx].line;
+    let lo = idx.saturating_sub(4);
+    let hi = (idx + 5).min(a.code.len());
+    let parts: Vec<&str> = a.code[lo..hi]
+        .iter()
+        .filter(|t| t.line == line)
+        .map(|t| t.text.as_str())
+        .collect();
+    parts.join(" ")
+}
+
+/// True when the token is textual evidence of a float operand.
+pub(crate) fn is_float_evidence(t: &Token) -> bool {
+    match t.kind {
+        TokKind::Float => true,
+        TokKind::Ident => matches!(
+            t.text.as_str(),
+            "NAN" | "INFINITY" | "NEG_INFINITY" | "f64" | "f32"
+        ),
+        _ => false,
+    }
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backward.
+pub(crate) fn matching_open_paren(code: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in (0..=close).rev() {
+        if code[i].kind == TokKind::Punct {
+            match code[i].text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`, scanning forward.
+pub(crate) fn matching_close_paren(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,139 @@
+//! Workspace discovery: which `.rs` files get linted and how each is
+//! classified.
+//!
+//! Scope (documented in LINT.md): the umbrella crate (`src/`, `tests/`,
+//! `examples/`) and every `crates/<name>/{src,tests,benches}` tree.
+//! `vendor/` is excluded — those are offline stand-ins for external
+//! crates, not code this workspace owns — as are `target/` and the
+//! linter's own intentionally-violating fixtures under
+//! `crates/lint/tests/fixtures/`.
+
+use crate::context::FileClass;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` is held to L3 (no `unwrap()`, justified
+/// `expect()` only). The binary-facing crates (`cli`, `bench`) are not:
+/// `expect` on malformed CLI arguments *is* their error UX.
+const L3_LIBRARY_CRATES: &[&str] = &[
+    "stats", "text", "index", "corpus", "hidden", "workload", "core", "eval", "lint",
+];
+
+/// One file to lint.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Absolute (or root-joined) path for reading.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators, for diagnostics.
+    pub rel: String,
+    /// Rule-applicability classification.
+    pub class: FileClass,
+}
+
+/// Discovers every lintable file under `root` (a workspace checkout).
+/// Deterministic order (sorted by relative path).
+pub fn discover(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples", "benches"] {
+        collect(&root.join(top), root, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for krate in entries {
+            if !krate.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "benches"] {
+                collect(&krate.join(sub), root, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<WorkspaceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = relative(&path, root);
+            if rel.contains("tests/fixtures/") {
+                continue; // the linter's intentionally-violating corpus
+            }
+            let class = classify(&rel);
+            out.push(WorkspaceFile { path, rel, class });
+        }
+    }
+    Ok(())
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Maps a workspace-relative path to the rules that apply to it.
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let mut class = FileClass::default();
+    match parts.as_slice() {
+        ["src", rest @ ..] => {
+            class.l3_library = !binary_path(rest);
+        }
+        ["tests" | "examples" | "benches", ..] => class.test_file = true,
+        ["crates", krate, "src", rest @ ..] => {
+            class.l3_library = L3_LIBRARY_CRATES.contains(krate) && !binary_path(rest);
+            class.l4_exempt = *krate == "core" && rest == ["par.rs"];
+        }
+        ["crates", _, "tests" | "benches", ..] => class.test_file = true,
+        _ => {}
+    }
+    class
+}
+
+/// `src/main.rs` and anything under `src/bin/` is a binary entry point,
+/// where `expect` on startup errors is the intended UX.
+fn binary_path(rest: &[&str]) -> bool {
+    rest == ["main.rs"] || rest.first() == Some(&"bin")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        assert!(classify("crates/stats/src/discrete.rs").l3_library);
+        assert!(classify("crates/core/src/probing/apro.rs").l3_library);
+        assert!(!classify("crates/cli/src/lib.rs").l3_library);
+        assert!(!classify("crates/core/src/bin/tool.rs").l3_library);
+        assert!(!classify("crates/lint/src/main.rs").l3_library);
+        assert!(classify("crates/lint/src/lexer.rs").l3_library);
+        assert!(classify("src/lib.rs").l3_library);
+
+        assert!(classify("crates/core/src/par.rs").l4_exempt);
+        assert!(!classify("crates/eval/src/runner.rs").l4_exempt);
+
+        assert!(classify("tests/end_to_end.rs").test_file);
+        assert!(classify("examples/quickstart.rs").test_file);
+        assert!(classify("crates/stats/benches/micro.rs").test_file);
+        assert!(classify("crates/lint/tests/fixtures_test.rs").test_file);
+        assert!(!classify("crates/stats/src/lib.rs").test_file);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture seeding meta-rule A0: malformed suppression comments. A
+//! broken suppression must not silence anything, so the L1 violation
+//! below is also expected to fire. Not compiled — lexed and linted by
+//! `fixtures_test.rs`.
+
+pub fn unjustified_suppression(p: f64) -> bool {
+    // mp-lint: allow(L1)
+    p == 0.0
+}
+
+// mp-lint: allow(L99): there is no such rule
+pub fn unknown_rule() {}
+
+// mp-lint: deny(L1): wrong verb entirely
+pub fn wrong_verb() {}

@@ -1,0 +1,18 @@
+//! Fixture that every rule accepts: the sanctioned spellings of the
+//! patterns the other fixtures violate. Not compiled — lexed and linted
+//! by `fixtures_test.rs`.
+
+pub fn tolerance_compare(p: f64, tol: f64) -> bool {
+    (p - 0.5).abs() <= tol
+}
+
+pub fn checked_narrowing(n: usize) -> u32 {
+    u32::try_from(n).expect("fixture counts stay far below u32::MAX")
+}
+
+pub fn widening(n: u32) -> f64 {
+    f64::from(n)
+}
+
+// TODO(#7): a tracked marker is not a finding
+pub fn tracked() {}

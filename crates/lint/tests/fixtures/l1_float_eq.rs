@@ -1,0 +1,30 @@
+//! Fixture seeding rule L1: float `==` / `!=` in non-test code.
+//! Not compiled — lexed and linted by `fixtures_test.rs`.
+
+pub fn bad_eq(p: f64) -> bool {
+    p == 0.0
+}
+
+pub fn bad_ne(p: f64) -> bool {
+    p != 1.0
+}
+
+pub fn bad_const_compare(x: f64) -> bool {
+    x == f64::INFINITY
+}
+
+pub fn suppressed(p: f64) -> bool {
+    // mp-lint: allow(L1): fixture demonstrating a justified suppression
+    p == 0.5
+}
+
+pub fn integer_compare_is_fine(n: u32) -> bool {
+    n == 0
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exact_assertions_are_fine_in_tests(p: f64) -> bool {
+        p == 0.25
+    }
+}

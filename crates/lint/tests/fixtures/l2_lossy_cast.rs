@@ -1,0 +1,27 @@
+//! Fixture seeding rule L2: lossy `as` casts on counts and indices.
+//! Not compiled — lexed and linted by `fixtures_test.rs`.
+
+pub fn narrowing_cast(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn float_to_int_cast(x: f64) -> u64 {
+    x.round() as u64
+}
+
+pub fn float_literal_cast() -> usize {
+    2.5 as usize
+}
+
+pub fn widening_is_fine(n: u32) -> u64 {
+    n as u64
+}
+
+pub fn int_to_float_is_fine(n: u64) -> f64 {
+    n as f64
+}
+
+pub fn suppressed(n: usize) -> u8 {
+    // mp-lint: allow(L2): fixture — the domain is 0..=3 by construction
+    n as u8
+}

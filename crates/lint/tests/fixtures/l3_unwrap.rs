@@ -1,0 +1,30 @@
+//! Fixture seeding rule L3: `unwrap()` / unjustified `expect()` in
+//! library crates. Not compiled — lexed and linted by `fixtures_test.rs`
+//! under a library-crate classification.
+
+pub fn bare_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn short_expect(v: Option<u32>) -> u32 {
+    v.expect("oops")
+}
+
+pub fn justified_expect_is_fine(v: Option<u32>) -> u32 {
+    v.expect("fixture values are always present by construction")
+}
+
+pub fn format_expect_is_fine(v: Option<u32>, k: usize) -> u32 {
+    v.expect(&format!("missing value for key {k}"))
+}
+
+pub fn non_panicking_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn unwrap_is_fine_in_tests(v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture seeding rule L5: an item gated on `feature = "parallel"`
+//! with no `not(feature = "parallel")` twin anywhere in the file, so the
+//! item vanishes from serial builds. Not compiled — lexed and linted by
+//! `fixtures_test.rs`.
+
+#[cfg(feature = "parallel")]
+pub fn parallel_only_api() {}
+
+pub fn block_position_gate_is_fine() -> u32 {
+    #[cfg(feature = "parallel")]
+    {
+        return 2;
+    }
+    1
+}
+
+pub fn cfg_macro_is_fine() -> bool {
+    cfg!(feature = "parallel")
+}
+
+#[cfg(feature = "serde")]
+pub fn other_features_are_fine() {}

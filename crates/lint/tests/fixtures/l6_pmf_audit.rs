@@ -1,0 +1,29 @@
+//! Fixture seeding rule L6: a distribution constructor with no
+//! normalization `debug_assert`. Not compiled — lexed and linted by
+//! `fixtures_test.rs`.
+
+pub struct Discrete;
+
+pub fn unchecked_constructor() -> Discrete {
+    Discrete
+}
+
+pub fn unchecked_fallible() -> Option<Discrete> {
+    Some(Discrete)
+}
+
+pub fn audited_constructor_is_fine() -> Discrete {
+    let d = Discrete;
+    debug_assert!(true, "mass sums to one by construction");
+    d
+}
+
+pub fn delegating_helper_is_fine() -> Discrete {
+    let d = audited_constructor_is_fine();
+    d.debug_assert_normalized();
+    d
+}
+
+pub fn borrowing_accessor_is_fine(d: &Discrete) -> &Discrete {
+    d
+}

@@ -1,0 +1,13 @@
+//! Fixture seeding rule L7: deferred-work markers without an issue
+//! reference. Not compiled — lexed and linted by `fixtures_test.rs`.
+
+// TODO: tighten this bound once the estimator handles empty summaries
+pub fn pending_work() {}
+
+// FIXME this comment has no reference either
+pub fn broken_thing() {}
+
+// TODO(#42): tracked markers are fine
+pub fn tracked_work() {}
+
+pub fn mentioning_octodo_in_prose_is_fine() {}

@@ -78,7 +78,9 @@ impl Discrete {
         for p in &mut merged {
             p.1 /= total;
         }
-        Ok(Self { points: merged })
+        let dist = Self { points: merged };
+        dist.debug_assert_normalized();
+        Ok(dist)
     }
 
     /// A distribution concentrated on a single value with probability 1.
@@ -87,9 +89,31 @@ impl Discrete {
     /// its actual relevancy is known exactly (Section 3.4, Figure 5(e)).
     pub fn impulse(value: f64) -> Self {
         assert!(value.is_finite(), "impulse value must be finite");
-        Self {
+        let dist = Self {
             points: vec![(value, 1.0)],
-        }
+        };
+        dist.debug_assert_normalized();
+        dist
+    }
+
+    /// True when the invariant holds: probabilities non-negative and
+    /// summing to 1 within [`PROB_EPS`], support strictly increasing.
+    pub fn is_normalized(&self) -> bool {
+        let total: f64 = self.points.iter().map(|&(_, p)| p).sum();
+        self.points.iter().all(|&(v, p)| v.is_finite() && p >= 0.0)
+            && (total - 1.0).abs() <= PROB_EPS
+            && self.points.windows(2).all(|w| w[0].0 < w[1].0)
+    }
+
+    /// Debug-build check of the normalization invariant (lint rule L6:
+    /// every pmf constructor must end with this, or an equivalent
+    /// `debug_assert`, so invariant drift is caught at the source).
+    pub fn debug_assert_normalized(&self) {
+        debug_assert!(
+            self.is_normalized(),
+            "Discrete invariant violated: probabilities must be non-negative, \
+             sum to 1, and sit on a strictly increasing finite support"
+        );
     }
 
     /// The support points as `(value, probability)` pairs, sorted by value.
@@ -198,7 +222,7 @@ impl Discrete {
     /// support point (paper Example 3).
     pub fn map_values(&self, mut f: impl FnMut(f64) -> f64) -> Result<Self, DiscreteError> {
         let mapped: Vec<(f64, f64)> = self.points.iter().map(|&(v, p)| (f(v), p)).collect();
-        Self::from_weighted(&mapped)
+        Self::from_weighted(&mapped).inspect(|d| d.debug_assert_normalized())
     }
 }
 

@@ -177,7 +177,7 @@ impl Histogram {
             .filter(|&b| self.counts[b] > 0)
             .map(|b| (self.representative(b), self.counts[b] as f64))
             .collect();
-        Discrete::from_weighted(&pairs)
+        Discrete::from_weighted(&pairs).inspect(|d| d.debug_assert_normalized())
     }
 
     /// Mean of all recorded observations (0 when empty).

@@ -21,6 +21,10 @@
 //! * [`online`] — Welford-style streaming summary statistics.
 //! * [`special`] — log-gamma / incomplete-gamma special functions backing
 //!   the χ² CDF, implemented from scratch.
+//! * [`float`] — deliberate float comparison/conversion vocabulary
+//!   (exact sentinel checks, approximate equality, checked rounding)
+//!   that keeps the rest of the workspace compliant with the `mp-lint`
+//!   numeric rules L1/L2.
 //!
 //! Everything is deterministic given a seed; no global state.
 
@@ -29,6 +33,7 @@
 
 pub mod chi2;
 pub mod discrete;
+pub mod float;
 pub mod histogram;
 pub mod online;
 pub mod poisson_binomial;

@@ -12,6 +12,7 @@
 //! cheaper than the naive `O(2^n)` enumeration; for the paper's `n = 20`
 //! databases it is effectively free.
 
+use crate::float::{exact_one, exact_zero};
 use serde::{Deserialize, Serialize};
 
 /// The exact distribution of the number of successes among independent,
@@ -44,7 +45,19 @@ impl PoissonBinomial {
                 pmf[j] = stay + from_below;
             }
         }
-        Self { pmf }
+        let pb = Self { pmf };
+        pb.debug_assert_normalized();
+        pb
+    }
+
+    /// Debug-build check that the pmf is a probability vector
+    /// (non-negative, summing to 1 within `1e-9`) — lint rule L6.
+    pub fn debug_assert_normalized(&self) {
+        debug_assert!(
+            self.pmf.iter().all(|&p| p >= 0.0)
+                && (self.pmf.iter().sum::<f64>() - 1.0).abs() <= 1e-9,
+            "PoissonBinomial pmf must be non-negative and sum to 1"
+        );
     }
 
     /// Number of trials `n`.
@@ -108,6 +121,7 @@ pub struct IncrementalPoissonBinomial {
 }
 
 impl Default for IncrementalPoissonBinomial {
+    // mp-lint: allow(L6): pure delegation — `Self::new` runs the normalization debug_assert
     fn default() -> Self {
         Self::new()
     }
@@ -116,10 +130,22 @@ impl Default for IncrementalPoissonBinomial {
 impl IncrementalPoissonBinomial {
     /// An empty accumulator (zero trials: `P(0 successes) = 1`).
     pub fn new() -> Self {
-        Self {
+        let acc = Self {
             pmf: vec![1.0],
             probs: Vec::new(),
-        }
+        };
+        acc.debug_assert_normalized();
+        acc
+    }
+
+    /// Debug-build check that the pmf is a probability vector
+    /// (non-negative, summing to 1 within `1e-9`) — lint rule L6.
+    pub fn debug_assert_normalized(&self) {
+        debug_assert!(
+            self.pmf.iter().all(|&p| p >= 0.0)
+                && (self.pmf.iter().sum::<f64>() - 1.0).abs() <= 1e-9,
+            "IncrementalPoissonBinomial pmf must be non-negative and sum to 1"
+        );
     }
 
     /// Builds the accumulator from `probs` by successive pushes; the
@@ -133,6 +159,7 @@ impl IncrementalPoissonBinomial {
         for &p in probs {
             acc.push(p);
         }
+        acc.debug_assert_normalized();
         acc
     }
 
@@ -251,10 +278,10 @@ fn deconvolve(f: &[f64], p: f64, out: &mut Vec<f64>) {
     let n = f.len() - 1;
     assert!(n >= 1, "cannot remove a trial from an empty accumulator");
     out.clear();
-    if p == 0.0 {
+    if exact_zero(p) {
         // The trial never fired: f already is g with a trailing zero.
         out.extend_from_slice(&f[..n]);
-    } else if p == 1.0 {
+    } else if exact_one(p) {
         // The trial always fired: g is f shifted down by one success.
         out.extend_from_slice(&f[1..]);
     } else if p <= 0.5 {
@@ -290,7 +317,7 @@ pub fn at_most(probs: &[f64], limit: usize) -> f64 {
     let mut state = vec![0.0f64; cap + 2];
     state[0] = 1.0;
     for &p in probs {
-        if p == 0.0 {
+        if exact_zero(p) {
             continue;
         }
         for j in (0..=cap + 1).rev() {

@@ -55,7 +55,7 @@ const EPS: f64 = 1e-14;
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
     assert!(x >= 0.0, "gamma_p requires x >= 0, got {x}");
-    if x == 0.0 {
+    if crate::float::exact_zero(x) {
         return 0.0;
     }
     if x < a + 1.0 {
@@ -69,7 +69,7 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 pub fn gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "gamma_q requires a > 0, got {a}");
     assert!(x >= 0.0, "gamma_q requires x >= 0, got {x}");
-    if x == 0.0 {
+    if crate::float::exact_zero(x) {
         return 1.0;
     }
     if x < a + 1.0 {
@@ -130,7 +130,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 
 /// Error function `erf(x)`, via `P(1/2, x²)` with sign handling.
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if crate::float::exact_zero(x) {
         0.0
     } else if x > 0.0 {
         gamma_p(0.5, x * x)

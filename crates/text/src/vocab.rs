@@ -72,10 +72,10 @@ impl Vocabulary {
 
     /// Iterates `(TermId, &str)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+        self.terms.iter().enumerate().map(|(i, t)| {
+            let id = u32::try_from(i).expect("vocabulary ids are u32 by construction");
+            (TermId(id), t.as_str())
+        })
     }
 }
 

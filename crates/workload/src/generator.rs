@@ -95,7 +95,7 @@ impl<'m> QueryGenerator<'m> {
     /// foreign-topic. Retries until `n_terms` distinct terms accumulate.
     pub fn generate(&mut self, n_terms: usize) -> Query {
         assert!(n_terms >= 1, "queries need at least one term");
-        let anchor = TopicId(self.rng.gen_range(0..self.model.n_topics()) as u32);
+        let anchor = TopicId::from_index(self.rng.gen_range(0..self.model.n_topics()));
         let anchor_start = (self.config.window > 0).then(|| {
             self.rng
                 .gen_range(0..self.model.topic(anchor).terms().len())
@@ -108,7 +108,7 @@ impl<'m> QueryGenerator<'m> {
             } else if self.rng.gen::<f64>() < self.config.background_prob {
                 self.background_term()
             } else {
-                let other = TopicId(self.rng.gen_range(0..self.model.n_topics()) as u32);
+                let other = TopicId::from_index(self.rng.gen_range(0..self.model.n_topics()));
                 self.topic_term(other, None)
             };
             if !terms.contains(&t) {

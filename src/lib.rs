@@ -37,6 +37,7 @@
 //! | [`mp_eval`] | experiment harness for every table and figure |
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use mp_core as core;
 pub use mp_corpus as corpus;
