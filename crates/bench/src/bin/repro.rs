@@ -4,10 +4,17 @@
 //! ```text
 //! repro [--exp all|fig7|fig8|fig9|fig15|fig16|fig17|policies|threshold|training|summaries|relevancy]
 //!       [--seed N] [--scale F] [--quick] [--out DIR]
+//!       [--obs] [--obs-json PATH] [--obs-verify]
 //! ```
 //!
 //! `--quick` shrinks corpora and query counts (~20× faster) while
 //! keeping every experiment's shape — useful for smoke runs and CI.
+//!
+//! Observability (mp-obs): `--obs` prints the span/metric tree to
+//! stderr at exit, `--obs-json PATH` writes the stable JSON snapshot
+//! to PATH, and `--obs-verify` exits nonzero if any registered
+//! hot-path span recorded zero hits — the CI dead-instrumentation
+//! guard. `MP_OBS=0` in the environment disables recording.
 
 use mp_bench::{optimal_policy_testbed, paper_sampling_config};
 use mp_core::CorrectnessMetric;
@@ -36,6 +43,9 @@ struct Args {
     scale: f64,
     quick: bool,
     out: PathBuf,
+    obs: bool,
+    obs_json: Option<PathBuf>,
+    obs_verify: bool,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +55,9 @@ fn parse_args() -> Args {
         scale: 1.0,
         quick: false,
         out: PathBuf::from("repro_output"),
+        obs: false,
+        obs_json: None,
+        obs_verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -66,9 +79,14 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--obs" => args.obs = true,
+            "--obs-json" => {
+                args.obs_json = Some(PathBuf::from(it.next().expect("--obs-json needs a value")))
+            }
+            "--obs-verify" => args.obs_verify = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--exp all|fig7|fig8|fig9|fig15|fig16|fig17|policies|threshold|training|summaries|relevancy] [--seed N] [--scale F] [--quick] [--out DIR]"
+                    "usage: repro [--exp all|fig7|fig8|fig9|fig15|fig16|fig17|policies|threshold|training|summaries|relevancy] [--seed N] [--scale F] [--quick] [--out DIR] [--obs] [--obs-json PATH] [--obs-verify]"
                 );
                 std::process::exit(0);
             }
@@ -132,6 +150,69 @@ fn lint_preflight() {
     }
 }
 
+/// Spans every `--exp all` repro run must exercise. `--obs-verify`
+/// fails the process when any of these recorded zero hits — dead
+/// instrumentation is indistinguishable from "this phase never ran",
+/// which is exactly the regression CI should catch.
+const HOT_PATH_SPANS: &[&str] = &[
+    "engine.usefulness_all",
+    "engine.base_dp",
+    "engine.scan",
+    "selection.best_set",
+    "apro.run",
+    "hidden.search",
+    "index.build",
+    "eval.testbed.build",
+    "eval.baseline",
+    "eval.rd_based",
+    "eval.probing_curve",
+    "eval.threshold_run",
+];
+
+/// Dumps the mp-obs snapshot per the `--obs*` flags and runs the
+/// dead-instrumentation guard. Call once, at the end of the run.
+fn obs_epilogue(args: &Args) {
+    if !(args.obs || args.obs_json.is_some() || args.obs_verify) {
+        return;
+    }
+    let snap = mp_obs::snapshot();
+    if args.obs {
+        eprint!("{}", snap.render_tree());
+        eprint!("{}", snap.render_flame());
+    }
+    if let Some(path) = &args.obs_json {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create obs snapshot dir");
+        }
+        std::fs::write(path, snap.to_json()).expect("write obs snapshot");
+        eprintln!("obs snapshot written to {}", path.display());
+    }
+    if args.obs_verify {
+        if !mp_obs::is_enabled() {
+            eprintln!("repro: --obs-verify needs recording on (unset MP_OBS=0)");
+            std::process::exit(1);
+        }
+        if args.exp != "all" {
+            eprintln!(
+                "repro: --obs-verify requires --exp all (every span must get a chance to fire)"
+            );
+            std::process::exit(1);
+        }
+        let dead = snap.missing_or_zero(HOT_PATH_SPANS);
+        if !dead.is_empty() {
+            eprintln!(
+                "repro: dead instrumentation — hot-path spans with zero hits: {}",
+                dead.join(", ")
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "obs verify: all {} hot-path spans recorded hits",
+            HOT_PATH_SPANS.len()
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     lint_preflight();
@@ -182,6 +263,7 @@ fn main() {
     .any(|e| want(e));
     if !needs_testbed {
         reporter.finish();
+        obs_epilogue(&args);
         return;
     }
 
@@ -287,4 +369,5 @@ fn main() {
 
     eprintln!("[{:>6.1?}] done", t0.elapsed());
     reporter.finish();
+    obs_epilogue(&args);
 }

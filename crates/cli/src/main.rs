@@ -16,6 +16,11 @@ commands:
   query    --state DIR --text \"words…\" [--k N] [--threshold T]
            [--policy greedy|random|by-estimate|max-uncertainty]
   eval     --state DIR [--k N]
+
+observability (any command):
+  --obs             print an mp-obs span/metric tree to stderr on exit
+  --obs-json PATH   write the mp-obs JSON snapshot to PATH on exit
+  (env MP_OBS=0 disables recording entirely)
 ";
 
 struct Opts {
@@ -29,6 +34,8 @@ struct Opts {
     k: usize,
     threshold: f64,
     policy: String,
+    obs: bool,
+    obs_json: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -44,6 +51,8 @@ impl Default for Opts {
             k: 1,
             threshold: 0.9,
             policy: "greedy".to_string(),
+            obs: false,
+            obs_json: None,
         }
     }
 }
@@ -76,6 +85,8 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), Strin
                     .map_err(|e| format!("bad threshold: {e}"))?
             }
             "--policy" => opts.policy = value()?,
+            "--obs" => opts.obs = true,
+            "--obs-json" => opts.obs_json = Some(PathBuf::from(value()?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -115,7 +126,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match result {
+    let code = match result {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
@@ -124,5 +135,21 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    };
+    if opts.obs || opts.obs_json.is_some() {
+        let snap = mp_obs::snapshot();
+        if opts.obs {
+            eprint!("{}", snap.render_tree());
+        }
+        if let Some(path) = &opts.obs_json {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                eprintln!(
+                    "error: cannot write obs snapshot to {}: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    code
 }

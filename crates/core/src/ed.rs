@@ -48,10 +48,12 @@ impl ErrorDistribution {
     /// The ED as a discrete distribution over representative error
     /// values; `None` when no samples were recorded.
     pub fn to_discrete(&self) -> Option<Discrete> {
-        self.hist
-            .to_discrete()
-            .ok()
-            .inspect(|d| d.debug_assert_normalized())
+        self.hist.to_discrete().ok().inspect(|d| {
+            d.debug_assert_normalized();
+            // Occupied-bucket count: how concentrated this ED is.
+            mp_obs::histogram!("ed.bucket_occupancy", mp_obs::bounds::POW2)
+                .record(u64::try_from(d.points().len()).unwrap_or(u64::MAX));
+        })
     }
 
     /// Merges another ED over the same bins.

@@ -98,19 +98,28 @@ fn fast_path_applies(k: usize, metric: CorrectnessMetric) -> bool {
 /// cores. Values match [`crate::probing::GreedyPolicy::usefulness`]
 /// within floating-point reassociation noise (≪ 1e-12 at testbed sizes).
 pub fn usefulness_all(state: &RdState, k: usize, metric: CorrectnessMetric) -> Vec<(usize, f64)> {
+    let _span = mp_obs::span!("engine.usefulness_all");
     let candidates = state.unprobed();
     if candidates.is_empty() {
         return Vec::new();
     }
+    mp_obs::histogram!("engine.candidates", mp_obs::bounds::POW2)
+        .record(u64::try_from(candidates.len()).unwrap_or(u64::MAX));
     if !fast_path_applies(k, metric) {
         // Reference evaluation per candidate (absolute, k > 1), still
         // parallel across candidates.
+        let _ref_span = mp_obs::span!("engine.reference");
+        mp_obs::counter!("engine.reference_fallbacks").incr();
         return par_map_indexed(candidates.len(), 2, |c| {
             let h = candidates[c];
             (h, naive_usefulness(state, h, k, metric))
         });
     }
-    let base = BaseDp::build(state.rds());
+    let base = {
+        let _dp_span = mp_obs::span!("engine.base_dp");
+        BaseDp::build(state.rds())
+    };
+    let _scan_span = mp_obs::span!("engine.scan");
     par_map_indexed(candidates.len(), 2, |c| {
         let h = candidates[c];
         (h, fast_usefulness(state.rds(), &base, h, k, metric))

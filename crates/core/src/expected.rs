@@ -39,6 +39,10 @@ impl RdState {
     /// Builds the state from initial (unprobed) RDs.
     pub fn new(rds: Vec<Discrete>) -> Self {
         assert!(!rds.is_empty(), "need at least one database");
+        let support = mp_obs::histogram!("rd.support_size", mp_obs::bounds::POW2);
+        for rd in &rds {
+            support.record(u64::try_from(rd.points().len()).unwrap_or(u64::MAX));
+        }
         let probed = vec![false; rds.len()];
         Self { rds, probed }
     }

@@ -27,10 +27,15 @@ where
             .unwrap_or(1)
             .min(n.max(1));
         if threads > 1 && n >= min_chunk.max(2) {
+            mp_obs::counter!("par.fanouts").incr();
             let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
             let chunk = n.div_ceil(threads);
+            // Task-balance accounting happens on the spawner thread so
+            // the workers carry zero instrumentation.
+            let balance = mp_obs::histogram!("par.chunk_items", mp_obs::bounds::POW2);
             std::thread::scope(|scope| {
                 for (c, slot) in results.chunks_mut(chunk).enumerate() {
+                    balance.record(u64::try_from(slot.len()).unwrap_or(u64::MAX));
                     let f = &f;
                     scope.spawn(move || {
                         for (off, out) in slot.iter_mut().enumerate() {
@@ -46,6 +51,7 @@ where
         }
     }
     let _ = min_chunk;
+    mp_obs::counter!("par.sequential").incr();
     (0..n).map(f).collect()
 }
 

@@ -102,6 +102,8 @@ pub fn apro(
         (0.0..=1.0).contains(&config.threshold),
         "threshold must be a probability"
     );
+    let _span = mp_obs::span!("apro.run");
+    mp_obs::counter!("apro.runs").incr();
     let (initial_selected, initial_expected) = best_set(state.rds(), config.k, config.metric);
     let mut selected = initial_selected.clone();
     let mut expected = initial_expected;
@@ -113,6 +115,7 @@ pub fn apro(
                 break;
             }
         }
+        mp_obs::counter!("apro.iterations").incr();
         let Some(db) = policy.select_db(state, config.k, config.metric) else {
             break; // every database probed
         };
@@ -129,6 +132,8 @@ pub fn apro(
         });
     }
 
+    mp_obs::histogram!("apro.probes_per_query", mp_obs::bounds::SMALL)
+        .record(u64::try_from(probes.len()).unwrap_or(u64::MAX));
     AproOutcome {
         satisfied: expected >= config.threshold,
         selected,

@@ -52,6 +52,7 @@ pub fn baseline_select(estimates: &[f64], k: usize) -> Vec<usize> {
 ///   is already optimal in practice; the local search guards the rest.
 pub fn best_set(rds: &[Discrete], k: usize, metric: CorrectnessMetric) -> (Vec<usize>, f64) {
     assert!(k >= 1 && k <= rds.len(), "k out of range");
+    let _span = mp_obs::span!("selection.best_set");
     let marginals = ranked_marginals(rds, k);
     let mut set: Vec<usize> = marginals[..k].iter().map(|&(i, _)| i).collect();
     set.sort_unstable();

@@ -32,6 +32,7 @@ impl Fig15Result {
 
 /// Runs the comparison on a built testbed.
 pub fn run_fig15(tb: &Testbed) -> Fig15Result {
+    let _span = mp_obs::span!("eval.fig15");
     Fig15Result {
         baseline_k1: evaluate_baseline(tb, 1),
         rd_k1: evaluate_rd_based(tb, 1),

@@ -36,6 +36,7 @@ pub struct Fig16Result {
 
 /// Runs the three panels with the greedy policy.
 pub fn run_fig16(tb: &Testbed, max_probes: usize) -> Fig16Result {
+    let _span = mp_obs::span!("eval.fig16");
     let max_probes = max_probes.min(tb.n_databases());
     let specs = [
         ("k=1", 1usize, CorrectnessMetric::Absolute),

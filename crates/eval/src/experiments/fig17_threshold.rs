@@ -24,6 +24,7 @@ pub struct Fig17Result {
 
 /// Runs APro (greedy policy) at every paper threshold.
 pub fn run_fig17(tb: &Testbed, k: usize, metric: CorrectnessMetric) -> Fig17Result {
+    let _span = mp_obs::span!("eval.fig17");
     let rows = PAPER_THRESHOLDS
         .iter()
         .map(|&t| threshold_run(tb, k, metric, t, |_| Box::new(GreedyPolicy)))

@@ -100,6 +100,7 @@ pub struct SamplingStudyResult {
 /// `r̂ ≥ θ` (the type the paper details; Section 4.2 reports similar
 /// results for the others).
 pub fn run_sampling_study(config: &SamplingStudyConfig) -> SamplingStudyResult {
+    let _span = mp_obs::span!("eval.fig7");
     let scenario = Scenario::generate(config.scenario.clone());
     let (model, parts) = scenario.into_parts();
     let mut dbs: Vec<Arc<dyn HiddenWebDatabase>> = Vec::new();

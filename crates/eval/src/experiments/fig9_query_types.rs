@@ -28,6 +28,7 @@ pub struct Fig9Result {
 
 /// Extracts the decision-tree leaves for database `db`.
 pub fn run_fig9(tb: &Testbed, db: usize) -> Fig9Result {
+    let _span = mp_obs::span!("eval.fig9");
     let edges = &tb.config.core.ed_edges;
     let bin_label = |bin: usize| -> String {
         let pct = |e: f64| format!("{:+.0}%", e * 100.0);

@@ -43,6 +43,7 @@ where
 
 /// Evaluates the term-independence baseline (estimate ranking).
 pub fn evaluate_baseline(tb: &Testbed, k: usize) -> MethodScores {
+    let _span = mp_obs::span!("eval.baseline");
     let queries = tb.split.test.queries();
     let per_q = par_map_queries(queries.len(), |qi| {
         let selected = baseline_select(&tb.estimates(&queries[qi]), k);
@@ -58,6 +59,7 @@ pub fn evaluate_baseline(tb: &Testbed, k: usize) -> MethodScores {
 /// Evaluates RD-based selection with no probing (paper Section 6.2).
 /// Each metric's score uses the set optimized for that metric.
 pub fn evaluate_rd_based(tb: &Testbed, k: usize) -> MethodScores {
+    let _span = mp_obs::span!("eval.rd_based");
     let queries = tb.split.test.queries();
     let per_q = par_map_queries(queries.len(), |qi| {
         let rds = tb.rds(&queries[qi]);
@@ -103,6 +105,7 @@ pub fn probing_curve<P>(
 where
     P: Fn(usize) -> Box<dyn ProbePolicy> + Sync,
 {
+    let _span = mp_obs::span!("eval.probing_curve");
     let queries = tb.split.test.queries();
     let per_q: Vec<Vec<f64>> = par_map_queries(queries.len(), |qi| {
         let q = &queries[qi];
@@ -166,6 +169,7 @@ pub fn threshold_run<P>(
 where
     P: Fn(usize) -> Box<dyn ProbePolicy> + Sync,
 {
+    let _span = mp_obs::span!("eval.threshold_run");
     let queries = tb.split.test.queries();
     let per_q: Vec<(usize, f64, bool)> = par_map_queries(queries.len(), |qi| {
         let q = &queries[qi];

@@ -118,6 +118,7 @@ impl Testbed {
         config: TestbedConfig,
         estimator: Box<dyn RelevancyEstimator>,
     ) -> Self {
+        let _span = mp_obs::span!("eval.testbed.build");
         let scenario = Scenario::generate(config.scenario.clone());
         let (model, parts) = scenario.into_parts();
 

@@ -117,6 +117,8 @@ impl HiddenWebDatabase for SimulatedHiddenDb {
     }
 
     fn search(&self, query: &[TermId], top_n: usize) -> SearchResponse {
+        let _span = mp_obs::span!("hidden.search");
+        mp_obs::counter!("probe.attempts").incr();
         self.probes.fetch_add(1, Ordering::Relaxed);
         self.probe_log
             .lock()
@@ -129,6 +131,7 @@ impl HiddenWebDatabase for SimulatedHiddenDb {
     }
 
     fn fetch(&self, doc: mp_index::DocId) -> Document {
+        mp_obs::counter!("hidden.fetches").incr();
         self.index.reconstruct_doc(doc)
     }
 

@@ -30,4 +30,4 @@ pub mod unreliable;
 pub use db::{HiddenWebDatabase, SearchResponse, SimulatedHiddenDb};
 pub use mediator::Mediator;
 pub use summary::ContentSummary;
-pub use unreliable::UnreliableDb;
+pub use unreliable::{ProbeBudget, UnreliableDb};

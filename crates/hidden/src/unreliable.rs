@@ -13,6 +13,13 @@
 //!   is perturbed by a relative factor up to ±`noise_span` (cached or
 //!   approximate counters).
 //!
+//! A mediator talking to a flaky site retries outages; the wrapper
+//! models that too ([`UnreliableDb::with_retries`]) and accounts for
+//! every attempt in a local [`ProbeBudget`] plus the mp-obs counters
+//! `probe.outages` / `probe.retries` / `probe.failures`, so a run's
+//! probe spend stays observable and provably bounded
+//! (≤ `1 + max_retries` physical probes per logical search).
+//!
 //! Injection is deterministic given the seed and the *sequence* of
 //! calls, so experiments remain reproducible.
 
@@ -21,7 +28,31 @@ use mp_index::{DocId, Document};
 use mp_text::TermId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Point-in-time probe-budget accounting for one [`UnreliableDb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeBudget {
+    /// Physical search attempts issued to the wrapped database
+    /// (first tries and retries alike).
+    pub attempts: u64,
+    /// Attempts that were retries of an earlier outage.
+    pub retries: u64,
+    /// Logical searches that exhausted their retries and returned an
+    /// empty answer page.
+    pub failures: u64,
+    /// Individual attempts lost to injected outages.
+    pub outages: u64,
+}
+
+#[derive(Debug, Default)]
+struct BudgetStats {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    failures: AtomicU64,
+    outages: AtomicU64,
+}
 
 /// A failure-injecting decorator around any [`HiddenWebDatabase`].
 pub struct UnreliableDb {
@@ -29,6 +60,9 @@ pub struct UnreliableDb {
     failure_rate: f64,
     noise_rate: f64,
     noise_span: f64,
+    /// Extra attempts after a first outage; 0 = fail immediately.
+    max_retries: u32,
+    stats: BudgetStats,
     rng: Mutex<StdRng>,
 }
 
@@ -66,6 +100,8 @@ impl UnreliableDb {
             failure_rate,
             noise_rate,
             noise_span,
+            max_retries: 0,
+            stats: BudgetStats::default(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
@@ -73,6 +109,29 @@ impl UnreliableDb {
     /// A perfectly reliable wrapper (pass-through; for A/B fixtures).
     pub fn reliable(inner: Arc<dyn HiddenWebDatabase>) -> Self {
         Self::new(inner, 0.0, 0.0, 0.0, 0)
+    }
+
+    /// Retries outages up to `max_retries` extra times before giving a
+    /// logical search up. Each retry is a real (counted) probe, so one
+    /// logical search costs at most `1 + max_retries` physical probes.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// The configured retry ceiling.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Snapshot of this wrapper's probe-budget accounting.
+    pub fn budget(&self) -> ProbeBudget {
+        ProbeBudget {
+            attempts: self.stats.attempts.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            failures: self.stats.failures.load(Ordering::Relaxed),
+            outages: self.stats.outages.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -82,40 +141,56 @@ impl HiddenWebDatabase for UnreliableDb {
     }
 
     fn search(&self, query: &[TermId], top_n: usize) -> SearchResponse {
-        let (fail, noise_factor) = {
-            let mut rng = self
-                .rng
-                .lock()
-                .expect("rng mutex poisoned: a prior holder panicked");
-            let fail = rng.gen::<f64>() < self.failure_rate;
-            let noise = if rng.gen::<f64>() < self.noise_rate {
-                1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * self.noise_span
-            } else {
-                1.0
+        let _span = mp_obs::span!("hidden.unreliable_search");
+        let mut attempt = 0u32;
+        loop {
+            self.stats.attempts.fetch_add(1, Ordering::Relaxed);
+            let (fail, noise_factor) = {
+                let mut rng = self
+                    .rng
+                    .lock()
+                    .expect("rng mutex poisoned: a prior holder panicked");
+                let fail = rng.gen::<f64>() < self.failure_rate;
+                let noise = if rng.gen::<f64>() < self.noise_rate {
+                    1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * self.noise_span
+                } else {
+                    1.0
+                };
+                (fail, noise)
             };
-            (fail, noise)
-        };
-        if fail {
-            // Outage: the probe still *happened* (and cost time), so it
-            // is counted by the inner probe counter via a real call with
-            // no results requested.
-            let _ = self.inner.search(query, 0);
-            return SearchResponse {
-                match_count: 0,
-                top_docs: Vec::new(),
-            };
+            if fail {
+                self.stats.outages.fetch_add(1, Ordering::Relaxed);
+                mp_obs::counter!("probe.outages").incr();
+                // Outage: the probe still *happened* (and cost time), so
+                // it is counted by the inner probe counter via a real
+                // call with no results requested.
+                let _ = self.inner.search(query, 0);
+                if attempt < self.max_retries {
+                    attempt += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    mp_obs::counter!("probe.retries").incr();
+                    continue;
+                }
+                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                mp_obs::counter!("probe.failures").incr();
+                return SearchResponse {
+                    match_count: 0,
+                    top_docs: Vec::new(),
+                };
+            }
+            let mut resp = self.inner.search(query, top_n);
+            // `exact_one` (not an epsilon test): the no-noise branch
+            // above sets the factor to the literal 1.0, so only that
+            // sentinel means "leave the count untouched".
+            if !mp_stats::float::exact_one(noise_factor) {
+                let noised = f64::from(resp.match_count) * noise_factor;
+                // Saturate on the (unreachable in practice) overflow
+                // rather than wrapping: a stale counter can only
+                // exaggerate so far.
+                resp.match_count = mp_stats::float::round_u32(noised.max(0.0)).unwrap_or(u32::MAX);
+            }
+            return resp;
         }
-        let mut resp = self.inner.search(query, top_n);
-        // `exact_one` (not an epsilon test): the no-noise branch above
-        // sets the factor to the literal 1.0, so only that sentinel
-        // means "leave the count untouched".
-        if !mp_stats::float::exact_one(noise_factor) {
-            let noised = f64::from(resp.match_count) * noise_factor;
-            // Saturate on the (unreachable in practice) overflow rather
-            // than wrapping: a stale counter can only exaggerate so far.
-            resp.match_count = mp_stats::float::round_u32(noised.max(0.0)).unwrap_or(u32::MAX);
-        }
-        resp
     }
 
     fn fetch(&self, doc: DocId) -> Document {
@@ -212,5 +287,54 @@ mod tests {
     #[should_panic(expected = "failure_rate out of range")]
     fn rejects_invalid_rates() {
         UnreliableDb::new(base_db(), 1.5, 0.0, 0.0, 0);
+    }
+
+    /// Regression: a flaky source's retry spend is observable (local
+    /// budget and mp-obs counters) and bounded by `1 + max_retries`
+    /// physical probes per logical search.
+    #[test]
+    fn flaky_source_retry_count_is_observable_and_bounded() {
+        let db = UnreliableDb::new(base_db(), 1.0, 0.0, 0.0, 3).with_retries(3);
+        assert_eq!(db.budget(), ProbeBudget::default());
+        #[cfg(feature = "obs")]
+        let retries_before = mp_obs::counter("probe.retries").get();
+
+        let r = db.search(&[t(1)], 5);
+        assert_eq!(r.match_count, 0, "permanent outage fails the search");
+
+        let b = db.budget();
+        assert_eq!(b.attempts, 4, "one first try plus max_retries retries");
+        assert_eq!(b.retries, 3);
+        assert_eq!(b.outages, 4);
+        assert_eq!(b.failures, 1);
+        assert_eq!(db.probe_count(), 4, "every retry cost a real probe");
+        assert!(b.attempts <= u64::from(db.max_retries()) + 1);
+
+        // The spend also surfaces through the global mp-obs counters
+        // (>=: the registry is shared with other tests in this binary).
+        #[cfg(feature = "obs")]
+        if mp_obs::is_enabled() {
+            assert!(mp_obs::counter("probe.retries").get() >= retries_before + 3);
+        }
+    }
+
+    /// A partially flaky source recovers within budget: with outages at
+    /// ~50% and one retry allowed, most logical searches still succeed.
+    #[test]
+    fn retries_recover_transient_outages() {
+        let db = UnreliableDb::new(base_db(), 0.5, 0.0, 0.0, 11).with_retries(1);
+        let n = 500u64;
+        let failed = (0..n)
+            .filter(|_| db.search(&[t(1)], 0).match_count == 0)
+            .count() as u64;
+        let b = db.budget();
+        // P(fail) = 0.25 under one retry; allow generous slack.
+        assert!(
+            f64::from(u32::try_from(failed).unwrap()) / f64::from(u32::try_from(n).unwrap()) < 0.35,
+            "failure rate {failed}/{n} too high for one retry"
+        );
+        assert_eq!(b.failures, failed);
+        assert_eq!(b.attempts, n + b.retries);
+        assert!(b.attempts <= n * 2, "bounded by 1 + max_retries per search");
     }
 }

@@ -46,8 +46,15 @@ impl IndexBuilder {
 
     /// Finalizes the index, precomputing per-document tf-idf norms.
     pub fn build(self) -> InvertedIndex {
+        let _span = mp_obs::span!("index.build");
         let doc_count = u32::try_from(self.doc_lens.len())
             .expect("document ids are u32 by design; collections stay below u32::MAX docs");
+        mp_obs::counter!("index.builds").incr();
+        mp_obs::counter!("index.docs").add(u64::from(doc_count));
+        let lens = mp_obs::histogram!("index.posting_len", mp_obs::bounds::POW2);
+        for postings in self.postings.iter().filter(|p| !p.is_empty()) {
+            lens.record(u64::try_from(postings.len()).unwrap_or(u64::MAX));
+        }
         let mut index = InvertedIndex {
             postings: self.postings,
             doc_lens: self.doc_lens,

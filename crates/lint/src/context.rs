@@ -10,13 +10,17 @@ use crate::rules::rule_by_name;
 /// apply (see LINT.md "Scope").
 #[derive(Debug, Clone, Default)]
 pub struct FileClass {
-    /// Whole file is test/bench/example code: L1–L6 are skipped.
+    /// Whole file is test/bench/example code: L1–L6 and L8 are skipped.
     pub test_file: bool,
     /// File belongs to a library crate: L3 (unwrap/expect) applies.
     pub l3_library: bool,
     /// File is the sanctioned thread-spawn site (`mp-core::par`): L4 is
     /// skipped.
     pub l4_exempt: bool,
+    /// File belongs to a library crate: L8 (no print macros) applies.
+    /// Tracks `l3_library` today; kept separate so the two scopes can
+    /// diverge without re-classifying the workspace.
+    pub l8_library: bool,
 }
 
 /// A parsed `// mp-lint: allow(rule, …): justification` comment. The

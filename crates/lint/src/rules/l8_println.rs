@@ -1,0 +1,87 @@
+//! L8 — `println!` / `eprintln!` (and friends) in library crates.
+//!
+//! Library crates compute; they do not talk to the terminal. A stray
+//! `println!` deep in the engine corrupts the CLI's machine-readable
+//! stdout, bypasses the `--obs` observability channel, and costs a
+//! formatting + syscall on what may be a hot path. Outside
+//! `#[cfg(test)]`, any `println!`, `print!`, `eprintln!`, `eprint!`, or
+//! `dbg!` invocation in a library crate (see LINT.md for the list) is
+//! flagged. Binary entry points (`src/main.rs`, `src/bin/`), the
+//! CLI/bench crates, tests, benches, and examples are exempt —
+//! printing is their job. `write!`/`writeln!` to an explicit sink are
+//! always fine.
+
+use super::diag_at;
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+const HINT: &str = "return the text to the caller, write into a provided \
+                    `fmt::Write`/`io::Write` sink, or record an mp-obs \
+                    counter/span instead of printing";
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    if !a.class.l8_library {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in a.code.iter().enumerate() {
+        if t.kind != TokKind::Ident || a.is_test[i] || !PRINT_MACROS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // A macro invocation: the ident is immediately followed by `!`
+        // (the lexer only fuses `!` into `!=`, never into `!(`).
+        if a.code.get(i + 1).is_some_and(|n| n.text == "!") {
+            out.push(diag_at(
+                a,
+                "L8",
+                i,
+                format!("`{}!` in library code", t.text),
+                HINT,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l8_count(src: &str, library: bool) -> usize {
+        let class = FileClass {
+            l8_library: library,
+            ..FileClass::default()
+        };
+        let a = Analysis::build("f.rs", src, class);
+        run_rules(&a).iter().filter(|d| d.rule == "L8").count()
+    }
+
+    #[test]
+    fn flags_every_print_macro_variant() {
+        assert_eq!(l8_count("fn f() { println!(\"x\"); }", true), 1);
+        assert_eq!(l8_count("fn f() { print!(\"x\"); }", true), 1);
+        assert_eq!(l8_count("fn f() { eprintln!(\"x = {x}\"); }", true), 1);
+        assert_eq!(l8_count("fn f() { eprint!(\"x\"); }", true), 1);
+        assert_eq!(l8_count("fn f() { dbg!(x); }", true), 1);
+        assert_eq!(l8_count("fn f() { std::println!(\"x\"); }", true), 1);
+    }
+
+    #[test]
+    fn allows_sinks_tests_and_non_library_files() {
+        assert_eq!(l8_count("fn f() { writeln!(out, \"x\")?; }", true), 0);
+        assert_eq!(l8_count("fn f() { write!(out, \"x\")?; }", true), 0);
+        assert_eq!(
+            l8_count("#[cfg(test)]\nmod t { fn f() { println!(\"x\"); } }", true),
+            0
+        );
+        assert_eq!(l8_count("fn f() { println!(\"x\"); }", false), 0);
+        // Plain identifiers that merely share the name are not macros.
+        assert_eq!(l8_count("fn f() { self.print(); let print = 1; }", true), 0);
+        // `!=` must not be mistaken for a macro bang.
+        assert_eq!(l8_count("fn f(print: u8) { if print != 0 {} }", true), 0);
+    }
+}

@@ -13,6 +13,7 @@ mod l4_thread;
 mod l5_cfg_parallel;
 mod l6_pmf_audit;
 mod l7_todo;
+mod l8_println;
 
 use crate::context::Analysis;
 use crate::diagnostics::{Diagnostic, Level};
@@ -21,7 +22,7 @@ use crate::lexer::{TokKind, Token};
 /// Static description of one rule.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Canonical id (`L1` … `L7`, `A0`).
+    /// Canonical id (`L1` … `L8`, `A0`).
     pub id: &'static str,
     /// Human name, also accepted in `allow(...)`.
     pub name: &'static str,
@@ -76,6 +77,12 @@ pub const RULES: &[RuleInfo] = &[
         default_level: Level::Warn,
     },
     RuleInfo {
+        id: "L8",
+        name: "no-println-in-lib",
+        summary: "`println!`-family macro in library crate code",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
         id: "A0",
         name: "suppression",
         summary: "malformed or unjustified mp-lint suppression comment",
@@ -110,6 +117,7 @@ pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
     out.extend(l5_cfg_parallel::check(a));
     out.extend(l6_pmf_audit::check(a));
     out.extend(l7_todo::check(a));
+    out.extend(l8_println::check(a));
     out.retain(|d| !a.suppressed(d.rule, d.line));
     out.extend(a.meta_diags.iter().cloned());
     out.sort_by_key(|d| (d.line, d.col));

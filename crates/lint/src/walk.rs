@@ -17,7 +17,7 @@ use std::path::{Path, PathBuf};
 /// `expect()` only). The binary-facing crates (`cli`, `bench`) are not:
 /// `expect` on malformed CLI arguments *is* their error UX.
 const L3_LIBRARY_CRATES: &[&str] = &[
-    "stats", "text", "index", "corpus", "hidden", "workload", "core", "eval", "lint",
+    "stats", "text", "index", "corpus", "hidden", "workload", "core", "eval", "lint", "obs",
 ];
 
 /// One file to lint.
@@ -95,10 +95,12 @@ pub fn classify(rel: &str) -> FileClass {
     match parts.as_slice() {
         ["src", rest @ ..] => {
             class.l3_library = !binary_path(rest);
+            class.l8_library = class.l3_library;
         }
         ["tests" | "examples" | "benches", ..] => class.test_file = true,
         ["crates", krate, "src", rest @ ..] => {
             class.l3_library = L3_LIBRARY_CRATES.contains(krate) && !binary_path(rest);
+            class.l8_library = class.l3_library;
             class.l4_exempt = *krate == "core" && rest == ["par.rs"];
         }
         ["crates", _, "tests" | "benches", ..] => class.test_file = true,
@@ -129,6 +131,12 @@ mod tests {
 
         assert!(classify("crates/core/src/par.rs").l4_exempt);
         assert!(!classify("crates/eval/src/runner.rs").l4_exempt);
+
+        assert!(classify("crates/obs/src/export.rs").l8_library);
+        assert!(classify("src/lib.rs").l8_library);
+        assert!(!classify("crates/cli/src/main.rs").l8_library);
+        assert!(!classify("crates/bench/src/bin/repro.rs").l8_library);
+        assert!(!classify("crates/lint/src/main.rs").l8_library);
 
         assert!(classify("tests/end_to_end.rs").test_file);
         assert!(classify("examples/quickstart.rs").test_file);

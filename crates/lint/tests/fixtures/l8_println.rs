@@ -1,0 +1,32 @@
+//! Fixture seeding rule L8: print-family macros in library code.
+//! Not compiled — lexed and linted by `fixtures_test.rs`.
+
+pub fn narrates_progress(step: usize) {
+    println!("step {step} done");
+}
+
+pub fn leaks_debug_state(x: u64) -> u64 {
+    dbg!(x)
+}
+
+pub fn shouts_to_stderr(msg: &str) {
+    eprintln!("warning: {msg}");
+    eprint!("…");
+}
+
+pub fn partial_line() {
+    print!("no newline");
+}
+
+pub fn writing_to_a_sink_is_fine(out: &mut String, v: f64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "v = {v}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_in_tests_is_fine() {
+        println!("debugging a test is allowed");
+    }
+}

@@ -35,6 +35,7 @@
 //! | [`mp_hidden`] | the search-interface abstraction + probe accounting |
 //! | [`mp_workload`] | 2-/3-term query traces with disjoint splits |
 //! | [`mp_eval`] | experiment harness for every table and figure |
+//! | [`mp_obs`] | zero-dependency spans + metrics over the whole pipeline |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@ pub use mp_corpus as corpus;
 pub use mp_eval as eval;
 pub use mp_hidden as hidden;
 pub use mp_index as index;
+pub use mp_obs as obs;
 pub use mp_stats as stats;
 pub use mp_text as text;
 pub use mp_workload as workload;
