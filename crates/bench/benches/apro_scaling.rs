@@ -2,10 +2,12 @@
 //! incremental parallel engine vs the reference evaluation, at
 //! `n ∈ {16, 64, 256}` mediated databases.
 //!
-//! Besides the criterion targets, the bench writes a machine-readable
-//! `BENCH_apro.json` at the repository root recording both timings and
-//! the speedup per size — the acceptance artifact for the engine
-//! (`ISSUE`: ≥ 2× on the greedy scan at n = 256).
+//! Besides the criterion targets, the bench merges its report into the
+//! `apro_scaling` section of the machine-readable `BENCH_apro.json` at
+//! the repository root, recording both timings and the speedup per
+//! size — the acceptance artifact for the engine (`ISSUE`: ≥ 2× on the
+//! greedy scan at n = 256). The `serve_throughput` bench owns the
+//! file's other section.
 //!
 //! Per size the report also records what mp-obs sees: the engine scan
 //! re-measured with recording on (`engine_ns_obs`, overhead budget
@@ -230,9 +232,13 @@ fn write_scaling_report() {
         sizes,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apro.json");
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(path, json + "\n").expect("BENCH_apro.json written");
-    eprintln!("wrote {path}");
+    mp_bench::merge_bench_json(
+        std::path::Path::new(path),
+        "apro_scaling",
+        report.to_value(),
+    )
+    .expect("BENCH_apro.json written");
+    eprintln!("wrote {path} (section apro_scaling)");
 }
 
 criterion_group! {

@@ -1,0 +1,186 @@
+//! Serving-layer throughput: queries/sec of [`mp_serve::Server`] over a
+//! repeated-query workload, across the worker-count × cache feature
+//! matrix.
+//!
+//! The acceptance comparison (`ISSUE` PR 4) is the 4-worker cached
+//! server vs the 1-worker cold-cache baseline on the same stream of
+//! `UNIQUE × REPEATS` requests: the cached server must clear **≥ 2×**
+//! queries/sec. On a single-core runner the win comes almost entirely
+//! from the result cache (repeats are answered without re-running
+//! APro), which is exactly why the workload is repeat-heavy; extra
+//! workers add whatever overlap the machine actually has.
+//!
+//! The report is merged into the `serve_throughput` section of
+//! `BENCH_apro.json` at the repository root; the `apro_scaling` bench
+//! owns the file's other section.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mp_core::{IndependenceEstimator, Metasearcher, RelevancyDef};
+use mp_eval::{Testbed, TestbedConfig};
+use mp_serve::{ServeConfig, ServeRequest, Server};
+use mp_workload::Query;
+use serde::Serialize;
+
+const SEED: u64 = 41;
+const UNIQUE: usize = 25;
+const REPEATS: usize = 8;
+const K: usize = 2;
+const THRESHOLD: f64 = 0.85;
+const RUNS: usize = 5;
+
+/// One cell of the feature matrix, measured over `RUNS` fresh servers.
+#[derive(Serialize)]
+struct ScenarioReport {
+    workers: usize,
+    cache_cap: usize,
+    runs: usize,
+    /// Median wall nanoseconds for the whole batch.
+    wall_ns: f64,
+    /// Requests served per second at the median.
+    qps: f64,
+    /// Cache accounting from the last run (deterministic for the
+    /// 1-worker rows; representative for the 4-worker ones).
+    hits: u64,
+    misses: u64,
+    dedup_joins: u64,
+}
+
+#[derive(Serialize)]
+struct ThroughputReport {
+    bench: String,
+    unique_queries: usize,
+    repeats: usize,
+    k: usize,
+    threshold: f64,
+    scenarios: Vec<ScenarioReport>,
+    /// `qps(4 workers, cache on) / qps(1 worker, cache off)` — the
+    /// acceptance number (must be ≥ 2).
+    speedup_vs_cold_baseline: f64,
+}
+
+fn shared_metasearcher(tb: &Testbed) -> Arc<Metasearcher> {
+    Metasearcher::with_library(
+        tb.mediator.clone(),
+        Box::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        tb.library.clone(),
+    )
+    .shared()
+}
+
+/// Repeat-major stream: the full unique set, `REPEATS` passes — so with
+/// the cache on every pass after the first is pure hits, never
+/// in-flight joins.
+fn stream(queries: &[Query]) -> Vec<ServeRequest> {
+    (0..REPEATS)
+        .flat_map(|_| {
+            queries
+                .iter()
+                .map(|q| ServeRequest::new(q.clone(), K, THRESHOLD))
+        })
+        .collect()
+}
+
+/// Runs one scenario `RUNS` times on fresh servers (cold cache each
+/// run, so cache-on rows pay their compulsory misses) and reports the
+/// median wall time.
+fn run_scenario(
+    ms: &Arc<Metasearcher>,
+    requests: &[ServeRequest],
+    workers: usize,
+    cache_cap: usize,
+) -> ScenarioReport {
+    let mut walls = Vec::with_capacity(RUNS);
+    let mut last_stats = None;
+    // Warm-up run absorbs first-touch effects (lazy allocs, page-ins).
+    for measured in [false, true, true, true, true, true] {
+        let server = Server::new(Arc::clone(ms), ServeConfig::new(workers, cache_cap));
+        let t = Instant::now();
+        for r in server.serve_batch(requests.iter().cloned()) {
+            let resp = r.expect("back-pressure submission never rejects");
+            criterion::black_box(resp);
+        }
+        let wall = t.elapsed().as_nanos() as f64;
+        if measured {
+            walls.push(wall);
+            last_stats = Some(server.stats());
+        }
+    }
+    let (_, wall_ns, _, _) = criterion::summarize(&walls);
+    let stats = last_stats.expect("at least one measured run");
+    let qps = requests.len() as f64 / (wall_ns / 1e9);
+    eprintln!(
+        "serve_throughput workers={workers} cache_cap={cache_cap}: \
+         {:.1} ms/batch, {qps:.0} q/s (hits {} misses {} joins {})",
+        wall_ns / 1e6,
+        stats.hits,
+        stats.misses,
+        stats.dedup_joins
+    );
+    ScenarioReport {
+        workers,
+        cache_cap,
+        runs: RUNS,
+        wall_ns,
+        qps,
+        hits: stats.hits,
+        misses: stats.misses,
+        dedup_joins: stats.dedup_joins,
+    }
+}
+
+fn main() {
+    let tb = Testbed::build(TestbedConfig::tiny(SEED));
+    let ms = shared_metasearcher(&tb);
+    let queries: Vec<Query> = tb
+        .split
+        .test
+        .queries()
+        .iter()
+        .take(UNIQUE)
+        .cloned()
+        .collect();
+    assert_eq!(queries.len(), UNIQUE, "testbed provides the unique set");
+    let requests = stream(&queries);
+
+    let matrix = [(1usize, 0usize), (1, 1024), (4, 0), (4, 1024)];
+    let scenarios: Vec<ScenarioReport> = matrix
+        .iter()
+        .map(|&(workers, cap)| run_scenario(&ms, &requests, workers, cap))
+        .collect();
+
+    let baseline = scenarios
+        .iter()
+        .find(|s| s.workers == 1 && s.cache_cap == 0)
+        .expect("baseline scenario present");
+    let candidate = scenarios
+        .iter()
+        .find(|s| s.workers == 4 && s.cache_cap > 0)
+        .expect("candidate scenario present");
+    let speedup = candidate.qps / baseline.qps;
+    eprintln!("serve_throughput speedup (4w cached vs 1w cold): {speedup:.1}x");
+    assert!(
+        speedup >= 2.0,
+        "acceptance: cached serving must be >= 2x the cold baseline, got {speedup:.2}x"
+    );
+
+    let report = ThroughputReport {
+        bench: "server queries/sec, repeated-query workload".to_string(),
+        unique_queries: UNIQUE,
+        repeats: REPEATS,
+        k: K,
+        threshold: THRESHOLD,
+        scenarios,
+        speedup_vs_cold_baseline: speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apro.json");
+    mp_bench::merge_bench_json(
+        std::path::Path::new(path),
+        "serve_throughput",
+        report.to_value(),
+    )
+    .expect("BENCH_apro.json written");
+    eprintln!("wrote {path} (section serve_throughput)");
+}

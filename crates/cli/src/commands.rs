@@ -185,6 +185,100 @@ pub fn run_suggest(dir: &Path, n: usize) -> Result<String, StateError> {
     Ok(out)
 }
 
+/// `metaprobe serve`: drives a scripted query stream from the held-out
+/// trace through the concurrent serving front-end and reports cache
+/// and latency statistics.
+///
+/// The stream takes the first `n_unique` test queries and plays them
+/// `repeat` times round-robin — a repeated-query workload, the shape
+/// the result cache exists for.
+#[allow(clippy::too_many_arguments)]
+pub fn run_serve(
+    dir: &Path,
+    workers: usize,
+    cache_cap: usize,
+    queue_cap: usize,
+    n_unique: usize,
+    repeat: usize,
+    k: usize,
+    threshold: f64,
+    policy_name: &str,
+) -> Result<String, StateError> {
+    use mp_serve::{PolicySpec, ServeConfig, ServeRequest, Server};
+
+    let st = state::load_state(dir)?;
+    let library = st.library()?.clone();
+    let Some(policy) = PolicySpec::parse(policy_name, 0) else {
+        return Ok(format!(
+            "unknown policy {policy_name:?} (greedy | random | by-estimate | max-uncertainty)\n"
+        ));
+    };
+    let unique: Vec<Query> = st
+        .testbed
+        .split
+        .test
+        .queries()
+        .iter()
+        .take(n_unique.max(1))
+        .cloned()
+        .collect();
+    let requests: Vec<ServeRequest> = (0..repeat.max(1))
+        .flat_map(|_| unique.iter().cloned())
+        .map(|q| ServeRequest::new(q, k, threshold).with_policy(policy.clone()))
+        .collect();
+
+    let ms = Metasearcher::with_library(
+        st.testbed.mediator.clone(),
+        Box::new(mp_core::IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        library,
+    )
+    .shared();
+    let server = Server::new(
+        ms,
+        ServeConfig {
+            workers: workers.max(1),
+            queue_cap: queue_cap.max(1),
+            ..ServeConfig::new(workers.max(1), cache_cap)
+        },
+    );
+
+    let start = std::time::Instant::now();
+    let responses = server.serve_batch(requests);
+    let wall = start.elapsed();
+    let errors = responses.iter().filter(|r| r.is_err()).count();
+    let stats = server.stats();
+    let qps = responses.len() as f64 / wall.as_secs_f64().max(1e-9);
+
+    let mut out = format!(
+        "served {} queries ({} unique × {}) with {} worker(s), cache cap {}\n",
+        responses.len(),
+        unique.len(),
+        repeat.max(1),
+        workers.max(1),
+        cache_cap,
+    );
+    out.push_str(&format!(
+        "ok {}, rejected {}, deadline-missed {}\n",
+        stats.completed, stats.rejects, stats.deadline_misses
+    ));
+    debug_assert_eq!(errors, 0, "batch submission never rejects");
+    out.push_str(&format!(
+        "result cache: {} hits, {} misses, {} dedup joins; rd cache: {} hits, {} misses\n",
+        stats.hits, stats.misses, stats.dedup_joins, stats.rd_hits, stats.rd_misses
+    ));
+    out.push_str(&format!(
+        "latency p50 {} µs, p99 {} µs, max {} µs\n",
+        stats.p50_us, stats.p99_us, stats.latency_max_us
+    ));
+    out.push_str(&format!(
+        "wall {:.3} s, {:.0} queries/s\n",
+        wall.as_secs_f64(),
+        qps
+    ));
+    Ok(out)
+}
+
 /// `metaprobe eval`: baseline vs RD-based on the held-out test set.
 pub fn run_eval(dir: &Path, k: usize) -> Result<String, StateError> {
     let st = state::load_state(dir)?;
@@ -262,6 +356,25 @@ mod tests {
 
         let eval = run_eval(&dir, 1).unwrap();
         assert!(eval.contains("RD-based"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_reports_cache_hits_on_a_repeated_stream() {
+        let dir = tmp_dir("serve");
+        init_tiny(&dir);
+        run_train(&dir).unwrap();
+
+        let out = run_serve(&dir, 2, 64, 16, 4, 3, 1, 0.8, "greedy").unwrap();
+        assert!(out.contains("served 12 queries (4 unique × 3)"), "{out}");
+        assert!(out.contains("queries/s"), "{out}");
+        // 4 unique queries played 3 times: at most 4 misses, the rest
+        // hits or dedup joins.
+        assert!(out.contains("result cache:"), "{out}");
+
+        let bad = run_serve(&dir, 2, 64, 16, 4, 1, 1, 0.8, "no-such-policy").unwrap();
+        assert!(bad.contains("unknown policy"), "{bad}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

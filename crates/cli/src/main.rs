@@ -16,6 +16,9 @@ commands:
   query    --state DIR --text \"words…\" [--k N] [--threshold T]
            [--policy greedy|random|by-estimate|max-uncertainty]
   eval     --state DIR [--k N]
+  serve    --state DIR [--workers N] [--cache-cap C] [--queue-cap Q]
+           [--n UNIQUE] [--repeat R] [--k N] [--threshold T]
+           [--policy greedy|random|by-estimate|max-uncertainty]
 
 observability (any command):
   --obs             print an mp-obs span/metric tree to stderr on exit
@@ -34,6 +37,10 @@ struct Opts {
     k: usize,
     threshold: f64,
     policy: String,
+    workers: usize,
+    cache_cap: usize,
+    queue_cap: usize,
+    repeat: usize,
     obs: bool,
     obs_json: Option<PathBuf>,
 }
@@ -51,6 +58,10 @@ impl Default for Opts {
             k: 1,
             threshold: 0.9,
             policy: "greedy".to_string(),
+            workers: 4,
+            cache_cap: 1024,
+            queue_cap: 64,
+            repeat: 4,
             obs: false,
             obs_json: None,
         }
@@ -85,6 +96,20 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), Strin
                     .map_err(|e| format!("bad threshold: {e}"))?
             }
             "--policy" => opts.policy = value()?,
+            "--workers" => {
+                opts.workers = value()?.parse().map_err(|e| format!("bad workers: {e}"))?
+            }
+            "--cache-cap" => {
+                opts.cache_cap = value()?
+                    .parse()
+                    .map_err(|e| format!("bad cache cap: {e}"))?
+            }
+            "--queue-cap" => {
+                opts.queue_cap = value()?
+                    .parse()
+                    .map_err(|e| format!("bad queue cap: {e}"))?
+            }
+            "--repeat" => opts.repeat = value()?.parse().map_err(|e| format!("bad repeat: {e}"))?,
             "--obs" => opts.obs = true,
             "--obs-json" => opts.obs_json = Some(PathBuf::from(value()?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -121,6 +146,17 @@ fn main() -> ExitCode {
             }
         },
         "eval" => commands::run_eval(&state, opts.k),
+        "serve" => commands::run_serve(
+            &state,
+            opts.workers,
+            opts.cache_cap,
+            opts.queue_cap,
+            opts.n,
+            opts.repeat,
+            opts.k,
+            opts.threshold,
+            &opts.policy,
+        ),
         other => {
             eprintln!("unknown command {other:?}\n{USAGE}");
             return ExitCode::from(2);

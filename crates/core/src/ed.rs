@@ -67,7 +67,10 @@ impl ErrorDistribution {
 /// Built offline from a training trace (the paper draws its sample
 /// queries "randomly chosen from previous query traces", Example 2) and
 /// consulted at query time to turn a point estimate into an RD.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` is exact (bin edges and counts compare bit-for-bit) —
+/// persistence round-trip tests rely on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EdLibrary {
     /// `per_db[i]` maps query types to their ED on database `i`.
     /// Maps serialize as sorted `[key, value]` pair arrays (JSON object

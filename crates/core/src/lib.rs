@@ -48,8 +48,8 @@ pub use correctness::{absolute_correctness, partial_correctness, rank_order, Cor
 pub use ed::{EdLibrary, ErrorDistribution};
 pub use estimator::{IndependenceEstimator, MaxSimilarityEstimator, RelevancyEstimator};
 pub use expected::{expected_absolute, expected_partial, marginal_topk_prob, RdState};
-pub use metasearcher::Metasearcher;
-pub use persist::{load_library, save_library};
+pub use metasearcher::{MetasearchResult, Metasearcher};
+pub use persist::{library_from_json, library_to_json, load_library, save_library};
 pub use probing::{apro, AproConfig, AproOutcome, GreedyPolicy, ProbePolicy};
 pub use query_type::QueryType;
 pub use relevancy::RelevancyDef;

@@ -22,7 +22,12 @@ use mp_stats::Discrete;
 use mp_workload::Query;
 
 /// The end-to-end result of one metasearch.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (probe traces, fused
+/// scores, certainties bit-for-bit) — the serving layer's equivalence
+/// tests use it to prove concurrent serving returns value-identical
+/// results to sequential search.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetasearchResult {
     /// The probing/selection trace.
     pub outcome: AproOutcome,
@@ -95,6 +100,14 @@ impl Metasearcher {
         }
     }
 
+    /// Wraps the facade in an [`Arc`](std::sync::Arc) — the cheap,
+    /// cloneable handle concurrent serving tiers share across worker
+    /// threads. The facade is immutable after training and every field
+    /// is `Send + Sync`, so no locking is involved.
+    pub fn shared(self) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(self)
+    }
+
     /// The mediated databases.
     pub fn mediator(&self) -> &Mediator {
         &self.mediator
@@ -147,7 +160,27 @@ impl Metasearcher {
         config: AproConfig,
         policy: &mut dyn ProbePolicy,
     ) -> AproOutcome {
-        let mut state = RdState::new(self.rds(query));
+        self.select_adaptive_with_rds(query, self.rds(query), config, policy)
+    }
+
+    /// [`Self::select_adaptive`] with the query's RDs supplied by the
+    /// caller — the serving layer caches RD vectors per query (they
+    /// depend only on the query, not on `k`/threshold/policy) and
+    /// replays them here. `rds` must be what [`Self::rds`] returns for
+    /// this query; the result is then identical to `select_adaptive`.
+    pub fn select_adaptive_with_rds(
+        &self,
+        query: &Query,
+        rds: Vec<Discrete>,
+        config: AproConfig,
+        policy: &mut dyn ProbePolicy,
+    ) -> AproOutcome {
+        assert_eq!(
+            rds.len(),
+            self.mediator.len(),
+            "RD vector does not cover the mediated databases"
+        );
+        let mut state = RdState::new(rds);
         let probe_top_n = self.library.config().probe_top_n;
         let mut probe_fn = |i: usize| self.def.probe(self.mediator.db(i), query, probe_top_n);
         apro(&mut state, config, policy, &mut probe_fn)
@@ -163,7 +196,20 @@ impl Metasearcher {
         policy: &mut dyn ProbePolicy,
         fuse_limit: usize,
     ) -> MetasearchResult {
-        let outcome = self.select_adaptive(query, config, policy);
+        self.search_with_rds(query, self.rds(query), config, policy, fuse_limit)
+    }
+
+    /// [`Self::search`] with caller-supplied RDs (see
+    /// [`Self::select_adaptive_with_rds`] for the contract).
+    pub fn search_with_rds(
+        &self,
+        query: &Query,
+        rds: Vec<Discrete>,
+        config: AproConfig,
+        policy: &mut dyn ProbePolicy,
+        fuse_limit: usize,
+    ) -> MetasearchResult {
+        let outcome = self.select_adaptive_with_rds(query, rds, config, policy);
         let top_n = self.library.config().probe_top_n.max(fuse_limit);
         let responses: Vec<_> = outcome
             .selected

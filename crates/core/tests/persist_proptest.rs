@@ -1,0 +1,63 @@
+//! Satellite (d): the JSON persistence envelope is lossless over
+//! arbitrary trained libraries — `library_from_json(library_to_json(l))
+//! == l` exactly (`EdLibrary`'s `PartialEq` compares bin edges and
+//! counts bit-for-bit), whatever mix of databases, query arities, and
+//! estimate/actual magnitudes produced the library.
+
+use mp_core::{library_from_json, library_to_json, CoreConfig, EdLibrary};
+use proptest::prelude::*;
+
+/// Builds a library by replaying generated observations. Ops are
+/// `(db selector, n_terms, (estimate, actual))` — the inner pair keeps
+/// each op a 3-tuple, the widest the vendored proptest composes.
+fn library_from_ops(
+    n_databases: usize,
+    threshold: f64,
+    ops: &[(u8, usize, (f64, f64))],
+) -> EdLibrary {
+    let mut lib = EdLibrary::empty(n_databases, CoreConfig::default().with_threshold(threshold));
+    for &(db, n_terms, (estimate, actual)) in ops {
+        lib.record(usize::from(db) % n_databases, n_terms, estimate, actual);
+    }
+    lib
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn json_roundtrip_is_lossless(
+        n_databases in 1usize..5,
+        threshold in 1.0f64..30.0,
+        ops in proptest::collection::vec(
+            (0u8..8, 1usize..5, (0.0f64..500.0, 0.0f64..500.0)),
+            0..60,
+        ),
+    ) {
+        let lib = library_from_ops(n_databases, threshold, &ops);
+        let json = library_to_json(&lib).expect("serialization is total");
+        let back = library_from_json(&json).expect("own output must parse");
+        prop_assert_eq!(&back, &lib, "round-trip changed the library");
+        // And the round-trip is a fixed point: re-serializing the
+        // loaded library yields byte-identical JSON.
+        let json2 = library_to_json(&back).expect("serialization is total");
+        prop_assert_eq!(json2, json, "round-trip JSON is not canonical");
+    }
+
+    /// Degenerate magnitudes (zero estimates, zero actuals, huge
+    /// errors) survive the trip too — these exercise the histogram's
+    /// overflow bins and the `est_floor` clamp.
+    #[test]
+    fn extreme_observations_roundtrip(
+        est_zero in 0u8..2,
+        actual in 0.0f64..1e9,
+    ) {
+        let mut lib = EdLibrary::empty(2, CoreConfig::default().with_threshold(10.0));
+        let estimate = if est_zero == 0 { 0.0 } else { 1e-12 };
+        lib.record(0, 2, estimate, actual);
+        lib.record(1, 3, actual, estimate);
+        let back = library_from_json(&library_to_json(&lib).expect("serializes"))
+            .expect("parses");
+        prop_assert_eq!(back, lib);
+    }
+}

@@ -143,16 +143,28 @@ impl InvertedIndex {
     /// Documents sharing *any* query term are scored (disjunctive
     /// scoring, as vector-space engines do).
     pub fn cosine_topk(&self, query: &[TermId], k: usize) -> Vec<ScoredDoc> {
-        let mut qtf: HashMap<TermId, u32> = HashMap::new();
-        for &t in query {
-            *qtf.entry(t).or_insert(0) += 1;
+        // Query term frequencies in *sorted* term order: the weighted
+        // dot products below are floating-point accumulations, and
+        // iterating a hash map here would make the summation order —
+        // and therefore the low bits of every score — vary from call to
+        // call. Sorted terms keep scores bit-identical across calls
+        // (the workspace determinism contract; the serving layer's
+        // equivalence tests compare results exactly).
+        let mut terms: Vec<TermId> = query.to_vec();
+        terms.sort_unstable();
+        let mut qtf: Vec<(TermId, u32)> = Vec::new();
+        for &t in &terms {
+            match qtf.last_mut() {
+                Some((last, tf)) if *last == t => *tf += 1,
+                _ => qtf.push((t, 1)),
+            }
         }
         if qtf.is_empty() || k == 0 {
             return Vec::new();
         }
         let mut qnorm2 = 0.0;
         let mut acc: HashMap<DocId, f64> = HashMap::new();
-        for (&t, &tfq) in &qtf {
+        for &(t, tfq) in &qtf {
             let idf = self.idf(t);
             let wq = tfq as f64 * idf;
             qnorm2 += wq * wq;
@@ -367,6 +379,30 @@ mod tests {
             for hit in idx.cosine_topk(&q, 100) {
                 prop_assert!(hit.score > 0.0 && hit.score <= 1.0 + 1e-9,
                     "score {}", hit.score);
+            }
+        }
+
+        /// Regression: cosine scores are floating-point accumulations,
+        /// and their summation order must not depend on hash-map
+        /// iteration — repeated calls return *bit-identical* scores
+        /// (two hash maps per call used to randomize the low bits).
+        #[test]
+        fn prop_cosine_topk_is_bit_stable_across_calls(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u32..10, 1..10), 1..20),
+            query in proptest::collection::vec(0u32..10, 1..4)
+        ) {
+            let refs: Vec<&[u32]> = docs.iter().map(Vec::as_slice).collect();
+            let idx = index_of(&refs);
+            let q: Vec<TermId> = query.iter().map(|&i| t(i)).collect();
+            let first = idx.cosine_topk(&q, 100);
+            for _ in 0..3 {
+                let again = idx.cosine_topk(&q, 100);
+                prop_assert_eq!(first.len(), again.len());
+                for (a, b) in first.iter().zip(&again) {
+                    prop_assert_eq!(a.doc, b.doc);
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
             }
         }
 

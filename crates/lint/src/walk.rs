@@ -18,6 +18,7 @@ use std::path::{Path, PathBuf};
 /// `expect` on malformed CLI arguments *is* their error UX.
 const L3_LIBRARY_CRATES: &[&str] = &[
     "stats", "text", "index", "corpus", "hidden", "workload", "core", "eval", "lint", "obs",
+    "serve",
 ];
 
 /// One file to lint.
@@ -101,7 +102,8 @@ pub fn classify(rel: &str) -> FileClass {
         ["crates", krate, "src", rest @ ..] => {
             class.l3_library = L3_LIBRARY_CRATES.contains(krate) && !binary_path(rest);
             class.l8_library = class.l3_library;
-            class.l4_exempt = *krate == "core" && rest == ["par.rs"];
+            class.l4_exempt = (*krate == "core" && rest == ["par.rs"])
+                || (*krate == "serve" && rest == ["pool.rs"]);
         }
         ["crates", _, "tests" | "benches", ..] => class.test_file = true,
         _ => {}
@@ -130,7 +132,10 @@ mod tests {
         assert!(classify("src/lib.rs").l3_library);
 
         assert!(classify("crates/core/src/par.rs").l4_exempt);
+        assert!(classify("crates/serve/src/pool.rs").l4_exempt);
+        assert!(!classify("crates/serve/src/cache.rs").l4_exempt);
         assert!(!classify("crates/eval/src/runner.rs").l4_exempt);
+        assert!(classify("crates/serve/src/server.rs").l3_library);
 
         assert!(classify("crates/obs/src/export.rs").l8_library);
         assert!(classify("src/lib.rs").l8_library);

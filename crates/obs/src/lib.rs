@@ -89,6 +89,14 @@ pub mod bounds {
     pub const POW2: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
     /// Small linear scale 0–16 — probes per query, retries, iterations.
     pub const SMALL: &[u64] = &[0, 1, 2, 3, 4, 6, 8, 12, 16];
+    /// Request latencies in microseconds, 50 µs – 5 s: roughly
+    /// geometric (×2–2.5 per step) so both a cache hit and a slow
+    /// multi-probe search land in an informative bucket. Used by the
+    /// serving layer (`serve.latency_us`) and its p50/p99 readouts.
+    pub const LATENCY_US: &[u64] = &[
+        50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+        1_000_000, 2_500_000, 5_000_000,
+    ];
 }
 
 /// The process-wide runtime switch, seeded from `MP_OBS` on first use.

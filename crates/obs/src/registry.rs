@@ -216,6 +216,36 @@ pub struct HistogramRow {
     pub max: u64,
 }
 
+impl HistogramRow {
+    /// An upper bound on the `q`-quantile of the recorded values, read
+    /// off the bucket counts: the bound of the first bucket where the
+    /// cumulative count reaches `q · count` (the overflow bucket
+    /// reports [`max`](Self::max), the tightest bound the row holds).
+    /// Returns 0 for an empty histogram; `q` is clamped to `[0, 1]`.
+    ///
+    /// The estimate is conservative — never below the true quantile,
+    /// and off by at most one bucket width. Serving-layer p50/p99
+    /// readouts use this on the `LATENCY_US` bounds.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum > 0 && cum as f64 >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
 /// A point-in-time copy of the whole registry, rows sorted by name.
 ///
 /// Produced by [`snapshot`]; rendered by the exporters in

@@ -273,6 +273,87 @@ mod enabled {
     }
 }
 
+/// [`HistogramRow`] is plain data present in both builds, so its
+/// quantile math is testable without the registry (and without the
+/// global lock).
+mod quantiles {
+    use mp_obs::HistogramRow;
+
+    fn row(bounds: &[u64], buckets: &[u64], min: u64, max: u64) -> HistogramRow {
+        let count = buckets.iter().sum();
+        HistogramRow {
+            name: "t.q".to_string(),
+            bounds: bounds.to_vec(),
+            buckets: buckets.to_vec(),
+            count,
+            sum: 0,
+            min,
+            max,
+        }
+    }
+
+    #[test]
+    fn approx_quantile_reads_bucket_upper_bounds() {
+        // 10 observations: 4 in (..=10], 4 in (10..=100], 2 overflow.
+        let r = row(&[10, 100], &[4, 4, 2], 3, 950);
+        assert_eq!(
+            r.approx_quantile(0.0),
+            10,
+            "q=0 lands in the first nonempty bucket"
+        );
+        assert_eq!(r.approx_quantile(0.25), 10);
+        assert_eq!(
+            r.approx_quantile(0.40),
+            10,
+            "cum 4 >= 4 exactly at the boundary"
+        );
+        assert_eq!(r.approx_quantile(0.50), 100);
+        assert_eq!(r.approx_quantile(0.80), 100);
+        assert_eq!(r.approx_quantile(0.99), 950, "overflow bucket reports max");
+        assert_eq!(r.approx_quantile(1.0), 950);
+    }
+
+    #[test]
+    fn approx_quantile_handles_degenerate_rows() {
+        let empty = row(&[10, 100], &[0, 0, 0], 0, 0);
+        assert_eq!(empty.approx_quantile(0.5), 0, "empty histogram reports 0");
+
+        let only_overflow = row(&[10], &[0, 7], 500, 900);
+        assert_eq!(only_overflow.approx_quantile(0.01), 900);
+        assert_eq!(only_overflow.approx_quantile(0.99), 900);
+
+        // Out-of-range q clamps instead of panicking or skipping
+        // buckets; a bounded bucket reports its bound even when the
+        // true max is smaller (conservative by design).
+        let r = row(&[10, 100], &[5, 5, 0], 1, 60);
+        assert_eq!(r.approx_quantile(-3.0), 10);
+        assert_eq!(r.approx_quantile(7.5), 100);
+    }
+
+    #[test]
+    fn approx_quantile_never_underestimates() {
+        // The estimate is an upper bound: for every recorded value v at
+        // rank r, approx_quantile(r / count) >= v. Exercise with values
+        // placed explicitly in known buckets.
+        let bounds = [4u64, 16, 64];
+        let values = [1u64, 3, 4, 9, 15, 16, 40, 64, 70, 200];
+        let mut buckets = [0u64; 4];
+        for &v in &values {
+            let i = bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len());
+            buckets[i] += 1;
+        }
+        let r = row(&bounds, &buckets, 1, 200);
+        for (rank, &v) in values.iter().enumerate() {
+            let q = (rank + 1) as f64 / values.len() as f64;
+            assert!(
+                r.approx_quantile(q) >= v,
+                "q={q}: estimate {} below true value {v}",
+                r.approx_quantile(q)
+            );
+        }
+    }
+}
+
 #[cfg(not(feature = "obs"))]
 mod disabled {
     use super::lock;

@@ -1,0 +1,48 @@
+//! The fixed-size worker pool — the serving layer's only thread source.
+//!
+//! Mirrors the `mp-core::par` discipline: this file is the *sole* place
+//! in `mp-serve` that creates threads (enforced by mp-lint rule L4,
+//! which exempts exactly `crates/core/src/par.rs` and this file), and
+//! it uses `std::thread::scope` so workers borrow the server and queue
+//! directly — no `'static` bounds, no leaked threads, and the pool
+//! cannot outlive the state it serves.
+//!
+//! Lifecycle: `run_scoped` spawns `workers` threads that loop on
+//! [`BoundedQueue::pop`], runs the caller's driver on the *calling*
+//! thread with a [`Client`] handle, then closes the queue. Closing lets
+//! workers drain every accepted request before exiting, so a batch
+//! driver never loses submitted work. A drop guard closes the queue
+//! even when the driver panics — otherwise `thread::scope` would
+//! block forever joining workers parked in `pop`.
+
+use crate::queue::BoundedQueue;
+use crate::server::{Client, Job, Server};
+
+/// Closes the queue on scope exit, panicking or not.
+struct CloseOnDrop<'q>(&'q BoundedQueue<Job>);
+
+impl Drop for CloseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// Runs one serving session (see module docs).
+pub(crate) fn run_scoped<R>(server: &Server, driver: impl FnOnce(&Client<'_>) -> R) -> R {
+    let queue = BoundedQueue::new(server.config().queue_cap.max(1));
+    let workers = server.config().workers.max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(job) = queue.pop() {
+                    server.handle(job);
+                }
+            });
+        }
+        let _closer = CloseOnDrop(&queue);
+        let client = Client::new(server, &queue);
+        driver(&client)
+        // `_closer` drops here: the queue closes, workers drain what
+        // was accepted and exit, then `scope` joins them.
+    })
+}

@@ -1,0 +1,191 @@
+//! A bounded MPMC queue with admission control.
+//!
+//! The serving front door: producers [`try_push`](BoundedQueue::try_push)
+//! requests (queue-full → typed rejection, the *admission control* of
+//! the serving layer) or [`push_blocking`](BoundedQueue::push_blocking)
+//! them (batch drivers that want back-pressure instead of shed load);
+//! workers [`pop`](BoundedQueue::pop) until the queue is closed *and*
+//! drained. Built on `std::sync::{Mutex, Condvar}` only — no external
+//! dependencies, no spinning.
+//!
+//! FIFO order is total: items pop in exactly the order pushes acquired
+//! the lock. With one worker this makes the whole serving pipeline a
+//! deterministic replay of the submission order, which the retry-budget
+//! regression test relies on.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push was refused.
+#[derive(Debug)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `cap` items.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero — a rendezvous queue cannot provide
+    /// admission control semantics.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be at least 1");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().expect("mp-serve queue mutex poisoned")
+    }
+
+    /// Enqueues without blocking; `Full` is the overload rejection.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if st.items.len() >= self.cap {
+            return Err(TryPushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, waiting for space when the queue is full. Returns the
+    /// item back when the queue is (or becomes) closed.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        loop {
+            if st.closed {
+                return Err(item);
+            }
+            if st.items.len() < self.cap {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .not_full
+                .wait(st)
+                .expect("mp-serve queue mutex poisoned");
+        }
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` only when the queue is closed *and* drained, so
+    /// closing never drops accepted work.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .expect("mp-serve queue mutex poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, poppers drain what was
+    /// accepted and then see `None`. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission-control capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(TryPushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        match q.try_push("b") {
+            Err(TryPushError::Closed("b")) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "close is sticky");
+    }
+
+    #[test]
+    fn push_blocking_fails_after_close() {
+        let q = BoundedQueue::new(1);
+        q.close();
+        assert_eq!(q.push_blocking(7), Err(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,573 @@
+//! The server: shared state, request/response types, and the handler.
+//!
+//! A [`Server`] owns an `Arc<Metasearcher>` plus two caches and a stats
+//! block; worker threads (see [`crate::pool`]) call
+//! [`Server::handle`](Server) on jobs drained from the bounded queue.
+//! The caches are layered the way the pipeline is:
+//!
+//! * an **RD cache** keyed by the [`Query`] alone — the relevancy
+//!   distributions depend only on the query (estimates + trained EDs),
+//!   so every `(k, threshold, policy)` variant of a query shares them;
+//! * a **result cache** keyed by the full [`CacheKey`] (query terms,
+//!   `k`, threshold bits, metric, probe budget, policy), holding
+//!   completed [`MetasearchResult`]s.
+//!
+//! **Why results are worker-count-invariant.** Each request's answer is
+//! a pure function of `(Metasearcher, request)`: the facade is shared
+//! immutably, every policy is constructed fresh per computation from
+//! its [`PolicySpec`] (a seeded `RandomPolicy` starts from the same
+//! seed every time), and the engine underneath is deterministic by the
+//! `mp-core::par` contract. Threads only change *which* request
+//! computes first; a cache hit or a dedup join therefore hands back a
+//! clone of exactly the value the computation would have produced.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mp_core::probing::{
+    ByEstimatePolicy, GreedyPolicy, ProbePolicy, RandomPolicy, UncertaintyPolicy,
+};
+use mp_core::{AproConfig, CorrectnessMetric, MetasearchResult, Metasearcher};
+use mp_stats::Discrete;
+use mp_workload::Query;
+
+use crate::cache::{CacheOutcome, ShardedCache};
+use crate::pool;
+use crate::queue::BoundedQueue;
+use crate::stats::{ServeStats, StatsCore};
+
+/// A probing policy *specification* — cheap to clone, hash, and
+/// compare, and buildable into a fresh [`ProbePolicy`] per computation.
+/// Part of the cache key: two requests share a cached result only when
+/// they would have probed identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PolicySpec {
+    /// The paper's greedy usefulness policy (stateless).
+    Greedy,
+    /// Uniformly random among unprobed databases, from a fixed seed.
+    Random(u64),
+    /// Probe the database that currently looks most relevant.
+    ByEstimate,
+    /// Probe the database with the highest RD variance.
+    MaxUncertainty,
+}
+
+impl PolicySpec {
+    /// Builds a fresh policy instance for one computation.
+    pub fn build(&self) -> Box<dyn ProbePolicy> {
+        match self {
+            PolicySpec::Greedy => Box::new(GreedyPolicy),
+            PolicySpec::Random(seed) => Box::new(RandomPolicy::new(*seed)),
+            PolicySpec::ByEstimate => Box::new(ByEstimatePolicy),
+            PolicySpec::MaxUncertainty => Box::new(UncertaintyPolicy),
+        }
+    }
+
+    /// Resolves a CLI-style policy name (`random` takes `seed`).
+    pub fn parse(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "greedy" => Some(PolicySpec::Greedy),
+            "random" => Some(PolicySpec::Random(seed)),
+            "by-estimate" => Some(PolicySpec::ByEstimate),
+            "max-uncertainty" => Some(PolicySpec::MaxUncertainty),
+            _ => None,
+        }
+    }
+
+    /// The stable policy name (matches [`ProbePolicy::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Greedy => "greedy",
+            PolicySpec::Random(_) => "random",
+            PolicySpec::ByEstimate => "by-estimate",
+            PolicySpec::MaxUncertainty => "max-uncertainty",
+        }
+    }
+}
+
+/// One query-serving request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// The analyzed keyword query.
+    pub query: Query,
+    /// Number of databases to select.
+    pub k: usize,
+    /// Required certainty threshold `t`.
+    pub threshold: f64,
+    /// Correctness metric the certainty is measured under.
+    pub metric: CorrectnessMetric,
+    /// Optional probe budget.
+    pub max_probes: Option<usize>,
+    /// Probing policy specification.
+    pub policy: PolicySpec,
+    /// Optional deadline, measured from submission; a request still
+    /// queued past its deadline is answered `DeadlineExceeded` instead
+    /// of computed.
+    pub deadline: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A request with the common defaults: partial correctness, no
+    /// probe budget, greedy policy, no deadline.
+    pub fn new(query: Query, k: usize, threshold: f64) -> Self {
+        Self {
+            query,
+            k,
+            threshold,
+            metric: CorrectnessMetric::Partial,
+            max_probes: None,
+            policy: PolicySpec::Greedy,
+            deadline: None,
+        }
+    }
+
+    /// Replaces the probing policy.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets a deadline relative to submission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    fn apro_config(&self) -> AproConfig {
+        AproConfig {
+            k: self.k,
+            threshold: self.threshold,
+            metric: self.metric,
+            max_probes: self.max_probes,
+        }
+    }
+}
+
+/// The result-cache identity of a request: everything that influences
+/// the computed answer. The threshold enters by *bit pattern* so the
+/// key is `Eq`-clean without any float comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    query: Query,
+    k: usize,
+    threshold_bits: u64,
+    metric: CorrectnessMetric,
+    max_probes: Option<usize>,
+    policy: PolicySpec,
+}
+
+impl CacheKey {
+    fn of(req: &ServeRequest) -> Self {
+        Self {
+            query: req.query.clone(),
+            k: req.k,
+            threshold_bits: req.threshold.to_bits(),
+            metric: req.metric,
+            max_probes: req.max_probes,
+            policy: req.policy.clone(),
+        }
+    }
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        // The query dominates the key's entropy; its stable FNV-1a
+        // fingerprint feeds the hasher instead of term-by-term writes.
+        h.write_u64(self.query.fingerprint());
+        h.write_usize(self.k);
+        h.write_u64(self.threshold_bits);
+        h.write_u8(match self.metric {
+            CorrectnessMetric::Absolute => 0,
+            CorrectnessMetric::Partial => 1,
+        });
+        self.max_probes.hash(h);
+        self.policy.hash(h);
+    }
+}
+
+/// How a completed request's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Computed; the result cache had no entry.
+    Miss,
+    /// Served from the result cache.
+    Hit,
+    /// Joined a concurrent identical request's computation.
+    Joined,
+    /// Computed with caching disabled (capacity 0).
+    Bypass,
+}
+
+/// A completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// The metasearch answer (identical to a direct
+    /// [`Metasearcher::search`] call with the same parameters).
+    pub result: MetasearchResult,
+    /// How the result was obtained.
+    pub cache: CacheStatus,
+    /// Submission-to-completion latency, microseconds.
+    pub latency_us: u64,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the request queue was full.
+    Overload,
+    /// The request's deadline passed before a worker picked it up.
+    DeadlineExceeded,
+    /// The serving session shut down before the request ran.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overload => write!(f, "request queue full (overload)"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServeError::Closed => write!(f, "serving session closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the request queue (min 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity (admission control depth).
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries; 0 disables caching and
+    /// deduplication entirely.
+    pub cache_cap: usize,
+    /// RD-cache capacity in entries (follows `cache_cap` semantics).
+    pub rd_cache_cap: usize,
+    /// Shards per cache (contention control).
+    pub cache_shards: usize,
+    /// Fused hits returned per query.
+    pub fuse_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 1024,
+            rd_cache_cap: 1024,
+            cache_shards: 8,
+            fuse_limit: 10,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with `workers` workers and `cache_cap` result-cache
+    /// entries (RD cache sized identically); other knobs default.
+    pub fn new(workers: usize, cache_cap: usize) -> Self {
+        Self {
+            workers,
+            cache_cap,
+            rd_cache_cap: cache_cap,
+            ..Self::default()
+        }
+    }
+}
+
+/// The write-once response cell a [`Ticket`] waits on.
+pub(crate) struct ResponseSlot {
+    cell: std::sync::Mutex<Option<Result<ServeResponse, ServeError>>>,
+    ready: std::sync::Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self {
+            cell: std::sync::Mutex::new(None),
+            ready: std::sync::Condvar::new(),
+        }
+    }
+
+    pub(crate) fn fill(&self, value: Result<ServeResponse, ServeError>) {
+        let mut cell = self
+            .cell
+            .lock()
+            .expect("mp-serve response slot mutex poisoned");
+        debug_assert!(cell.is_none(), "a response slot is filled exactly once");
+        *cell = Some(value);
+        drop(cell);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<ServeResponse, ServeError> {
+        let mut cell = self
+            .cell
+            .lock()
+            .expect("mp-serve response slot mutex poisoned");
+        loop {
+            if let Some(value) = cell.take() {
+                return value;
+            }
+            cell = self
+                .ready
+                .wait(cell)
+                .expect("mp-serve response slot mutex poisoned");
+        }
+    }
+}
+
+/// A claim on one submitted request's eventual response.
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes (or is rejected post-queue).
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.slot.wait()
+    }
+}
+
+/// One queued unit of work.
+pub(crate) struct Job {
+    pub(crate) req: ServeRequest,
+    pub(crate) submitted: Instant,
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+/// The submission handle available inside [`Server::run`]'s driver.
+pub struct Client<'s> {
+    server: &'s Server,
+    queue: &'s BoundedQueue<Job>,
+}
+
+impl<'s> Client<'s> {
+    pub(crate) fn new(server: &'s Server, queue: &'s BoundedQueue<Job>) -> Self {
+        Self { server, queue }
+    }
+
+    fn job(req: ServeRequest) -> (Job, Ticket) {
+        let slot = Arc::new(ResponseSlot::new());
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        (
+            Job {
+                req,
+                submitted: Instant::now(),
+                slot,
+            },
+            ticket,
+        )
+    }
+
+    /// Submits without blocking; a full queue is an [`ServeError::Overload`]
+    /// rejection (the admission-control path).
+    pub fn try_submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
+        let (job, ticket) = Self::job(req);
+        match self.queue.try_push(job) {
+            Ok(()) => Ok(ticket),
+            Err(crate::queue::TryPushError::Full(_)) => {
+                self.server.stats.reject();
+                Err(ServeError::Overload)
+            }
+            Err(crate::queue::TryPushError::Closed(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Submits, waiting for queue space (back-pressure instead of
+    /// shedding); fails only when the session is closing.
+    pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
+        let (job, ticket) = Self::job(req);
+        match self.queue.push_blocking(job) {
+            Ok(()) => Ok(ticket),
+            Err(_) => Err(ServeError::Closed),
+        }
+    }
+
+    /// The server this client submits to.
+    pub fn server(&self) -> &Server {
+        self.server
+    }
+}
+
+/// A concurrent, cache-backed serving front-end over a shared
+/// [`Metasearcher`].
+pub struct Server {
+    ms: Arc<Metasearcher>,
+    config: ServeConfig,
+    results: ShardedCache<CacheKey, MetasearchResult>,
+    rds: ShardedCache<Query, Vec<Discrete>>,
+    pub(crate) stats: StatsCore,
+}
+
+impl Server {
+    /// Builds a server over a shared trained facade.
+    pub fn new(ms: Arc<Metasearcher>, config: ServeConfig) -> Self {
+        let shards = config.cache_shards.max(1);
+        Self {
+            results: ShardedCache::new(config.cache_cap, shards),
+            rds: ShardedCache::new(config.rd_cache_cap, shards),
+            ms,
+            config,
+            stats: StatsCore::new(),
+        }
+    }
+
+    /// The shared metasearcher.
+    pub fn metasearcher(&self) -> &Arc<Metasearcher> {
+        &self.ms
+    }
+
+    /// The serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// A snapshot of this server's counters and latency quantiles.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot()
+    }
+
+    /// Entries currently in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Drops both caches' entries (stats are kept).
+    pub fn clear_cache(&self) {
+        self.results.clear();
+        self.rds.clear();
+    }
+
+    /// Runs a serving session: spawns the worker pool, hands the
+    /// driver a [`Client`], and tears the pool down (draining accepted
+    /// requests) when the driver returns.
+    pub fn run<R>(&self, driver: impl FnOnce(&Client<'_>) -> R) -> R {
+        pool::run_scoped(self, driver)
+    }
+
+    /// Convenience wrapper: submits every request with back-pressure
+    /// and returns the responses in request order.
+    pub fn serve_batch(
+        &self,
+        requests: impl IntoIterator<Item = ServeRequest>,
+    ) -> Vec<Result<ServeResponse, ServeError>> {
+        self.run(move |client| {
+            let tickets: Vec<Result<Ticket, ServeError>> =
+                requests.into_iter().map(|r| client.submit(r)).collect();
+            tickets
+                .into_iter()
+                .map(|t| t.and_then(Ticket::wait))
+                .collect()
+        })
+    }
+
+    /// The full per-request computation (both caches cold).
+    fn compute(&self, req: &ServeRequest) -> MetasearchResult {
+        let (rds, rd_outcome) = self
+            .rds
+            .get_or_compute(req.query.clone(), || self.ms.rds(&req.query));
+        self.stats.rd_lookup(rd_outcome == CacheOutcome::Hit);
+        let mut policy = req.policy.build();
+        self.ms.search_with_rds(
+            &req.query,
+            rds,
+            req.apro_config(),
+            policy.as_mut(),
+            self.config.fuse_limit,
+        )
+    }
+
+    /// Executes one job: deadline check, cache/dedup lookup, compute,
+    /// stats, response. Called from worker threads.
+    pub(crate) fn handle(&self, job: Job) {
+        let _span = mp_obs::span!("serve.request");
+        let Job {
+            req,
+            submitted,
+            slot,
+        } = job;
+        if let Some(deadline) = req.deadline {
+            if submitted.elapsed() > deadline {
+                self.stats.deadline_miss();
+                slot.fill(Err(ServeError::DeadlineExceeded));
+                return;
+            }
+        }
+        let (result, status) = if self.results.is_active() {
+            let key = CacheKey::of(&req);
+            let (result, outcome) = self.results.get_or_compute(key, || self.compute(&req));
+            let status = match outcome {
+                CacheOutcome::Hit => CacheStatus::Hit,
+                CacheOutcome::Computed => CacheStatus::Miss,
+                CacheOutcome::Joined => CacheStatus::Joined,
+            };
+            (result, status)
+        } else {
+            (self.compute(&req), CacheStatus::Bypass)
+        };
+        let latency_us = u64::try_from(submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.stats.complete(status, latency_us);
+        slot.fill(Ok(ServeResponse {
+            result,
+            cache: status,
+            latency_us,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_specs_roundtrip_names() {
+        for (name, spec) in [
+            ("greedy", PolicySpec::Greedy),
+            ("random", PolicySpec::Random(9)),
+            ("by-estimate", PolicySpec::ByEstimate),
+            ("max-uncertainty", PolicySpec::MaxUncertainty),
+        ] {
+            assert_eq!(PolicySpec::parse(name, 9), Some(spec.clone()));
+            assert_eq!(spec.name(), name);
+            assert_eq!(spec.build().name(), name);
+        }
+        assert_eq!(PolicySpec::parse("optimal-but-wrong", 0), None);
+    }
+
+    #[test]
+    fn cache_key_separates_parameters() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::BuildHasher;
+        let q = Query::new([mp_text::TermId(1), mp_text::TermId(2)]);
+        let base = ServeRequest::new(q, 2, 0.9);
+        let same = CacheKey::of(&base);
+        assert_eq!(CacheKey::of(&base.clone()), same);
+        let mut other = base.clone();
+        other.threshold = 0.95;
+        assert_ne!(CacheKey::of(&other), same);
+        let mut other = base.clone();
+        other.policy = PolicySpec::Random(1);
+        assert_ne!(CacheKey::of(&other), same);
+        let mut other = base.clone();
+        other.k = 3;
+        assert_ne!(CacheKey::of(&other), same);
+        // Hash is consistent with Eq for the equal pair.
+        let bh = std::hash::BuildHasherDefault::<DefaultHasher>::default();
+        assert_eq!(bh.hash_one(CacheKey::of(&base)), bh.hash_one(&same));
+    }
+
+    #[test]
+    fn serve_error_displays() {
+        assert!(ServeError::Overload.to_string().contains("queue full"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::Closed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Serving counters and the latency histogram behind [`ServeStats`].
+//!
+//! The core is a block of relaxed atomics owned by the [`crate::Server`]
+//! — *local* to the server instance, so tests and multi-tenant
+//! processes never read each other's numbers — mirrored into the global
+//! `mp-obs` registry (counters `serve.*`, histogram `serve.latency_us`)
+//! so `--obs-json` exports the same picture. The local block exists in
+//! both builds; only the mirror vanishes when the `obs` feature is off.
+//!
+//! Latency quantiles reuse the bucket layout
+//! [`mp_obs::bounds::LATENCY_US`] and the quantile estimator on
+//! [`mp_obs::HistogramRow`], so a p99 read from [`ServeStats`] and one
+//! read from an obs snapshot agree bucket-for-bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::server::CacheStatus;
+
+const BOUNDS: &[u64] = mp_obs::bounds::LATENCY_US;
+
+/// A point-in-time snapshot of one server's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered (with a result; rejections excluded).
+    pub completed: u64,
+    /// Result-cache hits.
+    pub hits: u64,
+    /// Result-cache misses that computed (includes cache-off bypasses).
+    pub misses: u64,
+    /// Requests that joined another request's in-flight computation.
+    pub dedup_joins: u64,
+    /// RD-vector cache hits (the query-keyed first-level cache).
+    pub rd_hits: u64,
+    /// RD-vector cache misses.
+    pub rd_misses: u64,
+    /// Admission-control rejections (queue full → `Overload`).
+    pub rejects: u64,
+    /// Requests dropped because their deadline had passed.
+    pub deadline_misses: u64,
+    /// Completed-request latencies: observation count.
+    pub latency_count: u64,
+    /// Sum of latencies, microseconds.
+    pub latency_sum_us: u64,
+    /// Worst completed-request latency, microseconds.
+    pub latency_max_us: u64,
+    /// Median latency (bucket upper bound), microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency (bucket upper bound), microseconds.
+    pub p99_us: u64,
+}
+
+/// The live atomics behind [`ServeStats`].
+#[derive(Debug, Default)]
+pub(crate) struct StatsCore {
+    completed: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    dedup_joins: AtomicU64,
+    rd_hits: AtomicU64,
+    rd_misses: AtomicU64,
+    rejects: AtomicU64,
+    deadline_misses: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    latency_buckets: Vec<AtomicU64>,
+}
+
+impl StatsCore {
+    pub(crate) fn new() -> Self {
+        Self {
+            latency_buckets: (0..=BOUNDS.len()).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn reject(&self) {
+        self.rejects.fetch_add(1, Ordering::Relaxed);
+        mp_obs::counter!("serve.rejects").incr();
+    }
+
+    pub(crate) fn deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        mp_obs::counter!("serve.deadline_misses").incr();
+    }
+
+    pub(crate) fn rd_lookup(&self, hit: bool) {
+        if hit {
+            self.rd_hits.fetch_add(1, Ordering::Relaxed);
+            mp_obs::counter!("serve.rd_cache_hits").incr();
+        } else {
+            self.rd_misses.fetch_add(1, Ordering::Relaxed);
+            mp_obs::counter!("serve.rd_cache_misses").incr();
+        }
+    }
+
+    pub(crate) fn complete(&self, status: CacheStatus, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match status {
+            CacheStatus::Hit => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                mp_obs::counter!("serve.cache_hits").incr();
+            }
+            CacheStatus::Joined => {
+                self.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                mp_obs::counter!("serve.dedup_joins").incr();
+            }
+            CacheStatus::Miss | CacheStatus::Bypass => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                mp_obs::counter!("serve.cache_misses").incr();
+            }
+        }
+        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
+        let idx = BOUNDS.partition_point(|&b| b < latency_us);
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        mp_obs::histogram!("serve.latency_us", BOUNDS).record(latency_us);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        let buckets: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let latency_count: u64 = buckets.iter().sum();
+        let latency_max_us = self.latency_max_us.load(Ordering::Relaxed);
+        // Reuse mp-obs's bucket-quantile estimator so ServeStats and an
+        // obs snapshot of `serve.latency_us` can never disagree.
+        let row = mp_obs::HistogramRow {
+            name: "serve.latency_us".to_string(),
+            bounds: BOUNDS.to_vec(),
+            buckets,
+            count: latency_count,
+            sum: self.latency_sum_us.load(Ordering::Relaxed),
+            min: 0,
+            max: latency_max_us,
+        };
+        ServeStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            dedup_joins: self.dedup_joins.load(Ordering::Relaxed),
+            rd_hits: self.rd_hits.load(Ordering::Relaxed),
+            rd_misses: self.rd_misses.load(Ordering::Relaxed),
+            rejects: self.rejects.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            latency_count,
+            latency_sum_us: row.sum,
+            latency_max_us,
+            p50_us: row.approx_quantile(0.5),
+            p99_us: row.approx_quantile(0.99),
+        }
+    }
+}
+
+impl ServeStats {
+    /// Cache hit rate over completed requests (0 when none completed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.completed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_identity() {
+        let core = StatsCore::new();
+        core.complete(CacheStatus::Miss, 100);
+        core.complete(CacheStatus::Hit, 10);
+        core.complete(CacheStatus::Joined, 20);
+        core.complete(CacheStatus::Bypass, 30);
+        core.reject();
+        core.deadline_miss();
+        let s = core.snapshot();
+        assert_eq!(s.completed, 4);
+        assert_eq!(s.hits + s.misses + s.dedup_joins, s.completed);
+        assert_eq!((s.hits, s.misses, s.dedup_joins), (1, 2, 1));
+        assert_eq!((s.rejects, s.deadline_misses), (1, 1));
+        assert_eq!(s.latency_count, 4);
+        assert_eq!(s.latency_sum_us, 160);
+        assert_eq!(s.latency_max_us, 100);
+    }
+
+    #[test]
+    fn quantiles_track_the_buckets() {
+        let core = StatsCore::new();
+        for _ in 0..99 {
+            core.complete(CacheStatus::Miss, 40); // ≤ first bound
+        }
+        core.complete(CacheStatus::Miss, 400_000);
+        let s = core.snapshot();
+        assert_eq!(s.p50_us, BOUNDS[0]);
+        assert!(s.p99_us <= BOUNDS[0], "99/100 observations in bucket 0");
+        assert_eq!(s.latency_max_us, 400_000);
+    }
+}

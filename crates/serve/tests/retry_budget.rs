@@ -1,0 +1,221 @@
+//! Satellite (e): retry-budget accounting stays exact under a serving
+//! workload.
+//!
+//! Two *twin* stacks of flaky databases ([`UnreliableDb`] with retries,
+//! identical seeds) answer the same query stream — one through the
+//! serving layer (1 worker: strict FIFO replay), one through direct
+//! sequential [`Metasearcher::search`] calls. Failure injection is
+//! deterministic in (seed, call sequence), so the per-database
+//! [`ProbeBudget`] counters must agree *exactly*, and turning the
+//! result cache on must not add a single physical probe for repeated
+//! queries.
+
+use std::sync::Arc;
+
+use mp_core::probing::GreedyPolicy;
+use mp_core::{
+    AproConfig, CoreConfig, CorrectnessMetric, EdLibrary, IndependenceEstimator, Metasearcher,
+    RelevancyDef,
+};
+use mp_corpus::{Scenario, ScenarioConfig, ScenarioKind};
+use mp_hidden::{
+    ContentSummary, HiddenWebDatabase, Mediator, ProbeBudget, SimulatedHiddenDb, UnreliableDb,
+};
+use mp_serve::{ServeConfig, ServeRequest, Server};
+use mp_workload::{Query, QueryGenConfig, TrainTestSplit};
+
+const K: usize = 1;
+const THRESHOLD: f64 = 0.9;
+const FUSE_LIMIT: usize = 10;
+const FAILURE_RATE: f64 = 0.3;
+const NOISE_RATE: f64 = 0.2;
+const NOISE_SPAN: f64 = 0.2;
+const RETRIES: u32 = 2;
+
+struct Fixture {
+    inner: Vec<Arc<dyn HiddenWebDatabase>>,
+    summaries: Vec<ContentSummary>,
+    library: EdLibrary,
+    queries: Vec<Query>,
+}
+
+/// Shared clean substrate: corpus, summaries, a library trained on
+/// *reliable* databases (so no injection RNG is consumed before the
+/// serving comparison starts), and the query stream.
+fn fixture() -> Fixture {
+    let scenario = Scenario::generate(ScenarioConfig::tiny(ScenarioKind::Health, 33));
+    let (model, parts) = scenario.into_parts();
+    let mut inner: Vec<Arc<dyn HiddenWebDatabase>> = Vec::new();
+    let mut summaries = Vec::new();
+    for (spec, index) in parts {
+        summaries.push(ContentSummary::cooperative(&index));
+        inner.push(Arc::new(SimulatedHiddenDb::new(spec.name, index)));
+    }
+    let split = TrainTestSplit::generate(
+        &model,
+        60,
+        40,
+        QueryGenConfig {
+            window: 12,
+            seed: 33 ^ 0xFEED,
+            ..QueryGenConfig::default()
+        },
+    );
+    let clean = Mediator::new(inner.clone(), summaries.clone());
+    let config = CoreConfig::default().with_threshold(10.0);
+    let library = EdLibrary::train(
+        &clean,
+        &IndependenceEstimator,
+        RelevancyDef::DocFrequency,
+        split.train.queries(),
+        &config,
+    );
+    let queries = split.test.queries().iter().take(25).cloned().collect();
+    Fixture {
+        inner,
+        summaries,
+        library,
+        queries,
+    }
+}
+
+/// One flaky twin: every database wrapped with identically-seeded
+/// injection, handles kept so budgets stay observable after the
+/// mediator takes ownership.
+fn flaky_twin(fx: &Fixture) -> (Arc<Metasearcher>, Vec<Arc<UnreliableDb>>) {
+    let mut wrappers = Vec::new();
+    let mut dbs: Vec<Arc<dyn HiddenWebDatabase>> = Vec::new();
+    for (i, base) in fx.inner.iter().enumerate() {
+        let w = Arc::new(
+            UnreliableDb::new(
+                Arc::clone(base),
+                FAILURE_RATE,
+                NOISE_RATE,
+                NOISE_SPAN,
+                1_000 + i as u64,
+            )
+            .with_retries(RETRIES),
+        );
+        wrappers.push(Arc::clone(&w));
+        dbs.push(w);
+    }
+    let ms = Metasearcher::with_library(
+        Mediator::new(dbs, fx.summaries.clone()),
+        Box::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        fx.library.clone(),
+    )
+    .shared();
+    (ms, wrappers)
+}
+
+fn budgets(wrappers: &[Arc<UnreliableDb>]) -> Vec<ProbeBudget> {
+    wrappers.iter().map(|w| w.budget()).collect()
+}
+
+fn apro_config() -> AproConfig {
+    AproConfig {
+        k: K,
+        threshold: THRESHOLD,
+        metric: CorrectnessMetric::Partial,
+        max_probes: None,
+    }
+}
+
+#[test]
+fn served_probe_budgets_replay_the_sequential_run_exactly() {
+    let fx = fixture();
+
+    // Twin A: through the serving layer, 1 worker, caches off — a
+    // strict FIFO replay of the stream.
+    let (ms_a, wrappers_a) = flaky_twin(&fx);
+    ms_a.mediator().reset_probes();
+    let server = Server::new(Arc::clone(&ms_a), ServeConfig::new(1, 0));
+    let responses = server.serve_batch(
+        fx.queries
+            .iter()
+            .map(|q| ServeRequest::new(q.clone(), K, THRESHOLD)),
+    );
+    // Captured before twin B runs: the twins share the inner databases,
+    // so their physical probe counters accumulate across runs.
+    let physical_probes: u64 = (0..wrappers_a.len())
+        .map(|i| ms_a.mediator().db(i).probe_count())
+        .sum();
+
+    // Twin B: direct sequential calls, same order, same parameters.
+    let (ms_b, wrappers_b) = flaky_twin(&fx);
+    let mut expected = Vec::new();
+    for q in &fx.queries {
+        let mut policy = GreedyPolicy;
+        expected.push(ms_b.search(q, apro_config(), &mut policy, FUSE_LIMIT));
+    }
+
+    for (i, resp) in responses.into_iter().enumerate() {
+        let resp = resp.expect("back-pressure submission never rejects");
+        assert_eq!(resp.result, expected[i], "query {i} diverged");
+    }
+
+    let a = budgets(&wrappers_a);
+    let b = budgets(&wrappers_b);
+    assert_eq!(a, b, "per-database budgets must replay exactly");
+
+    // The workload is hostile enough that the interesting counters
+    // actually move (deterministic: injection is seeded).
+    let total: ProbeBudget = a.iter().fold(ProbeBudget::default(), |acc, x| ProbeBudget {
+        attempts: acc.attempts + x.attempts,
+        retries: acc.retries + x.retries,
+        failures: acc.failures + x.failures,
+        outages: acc.outages + x.outages,
+    });
+    assert!(total.attempts > 0, "the stream probed something");
+    assert!(total.outages > 0, "outages fired at rate {FAILURE_RATE}");
+    assert!(total.retries > 0, "outages were retried");
+    assert_eq!(
+        total.attempts, physical_probes,
+        "every attempt is a physical probe on the wrapped database"
+    );
+    for db in &a {
+        assert!(
+            db.attempts <= (db.attempts - db.retries) * u64::from(RETRIES + 1),
+            "attempts bounded by 1 + max_retries per logical search"
+        );
+    }
+}
+
+#[test]
+fn result_cache_spends_zero_extra_probes_on_repeats() {
+    let fx = fixture();
+
+    // Twin A: unique stream, caches off.
+    let (ms_a, wrappers_a) = flaky_twin(&fx);
+    let server_a = Server::new(Arc::clone(&ms_a), ServeConfig::new(1, 0));
+    for r in server_a.serve_batch(
+        fx.queries
+            .iter()
+            .map(|q| ServeRequest::new(q.clone(), K, THRESHOLD)),
+    ) {
+        r.expect("no rejection");
+    }
+
+    // Twin B: the same stream played three times, result cache on.
+    // Repeats must be answered from the cache without touching the
+    // flaky databases, so the budgets match the single-pass twin.
+    let (ms_b, wrappers_b) = flaky_twin(&fx);
+    let server_b = Server::new(Arc::clone(&ms_b), ServeConfig::new(1, 256));
+    for r in server_b.serve_batch((0..3).flat_map(|_| {
+        fx.queries
+            .iter()
+            .map(|q| ServeRequest::new(q.clone(), K, THRESHOLD))
+    })) {
+        r.expect("no rejection");
+    }
+
+    assert_eq!(
+        budgets(&wrappers_a),
+        budgets(&wrappers_b),
+        "cached repeats must not probe"
+    );
+    let stats = server_b.stats();
+    assert_eq!(stats.misses, fx.queries.len() as u64);
+    assert_eq!(stats.hits, 2 * fx.queries.len() as u64);
+}

@@ -47,6 +47,21 @@ impl Query {
         &self.terms
     }
 
+    /// A stable 64-bit FNV-1a fingerprint of the (sorted, distinct)
+    /// terms. Unlike `Hash`, the value is fixed across processes and
+    /// runs — serving caches use it as the query component of their
+    /// keys, and structurally equal queries always agree on it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in &self.terms {
+            for b in t.0.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Number of distinct terms.
     pub fn len(&self) -> usize {
         self.terms.len()
@@ -85,6 +100,15 @@ mod tests {
     #[test]
     fn structural_equality() {
         assert_eq!(Query::new([t(1), t(2)]), Query::new([t(2), t(1)]));
+    }
+
+    #[test]
+    fn fingerprint_follows_structural_equality() {
+        let a = Query::new([t(2), t(1), t(2)]);
+        let b = Query::new([t(1), t(2)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), Query::new([t(1)]).fingerprint());
+        assert_ne!(a.fingerprint(), Query::new([t(1), t(3)]).fingerprint());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! | [`mp_hidden`] | the search-interface abstraction + probe accounting |
 //! | [`mp_workload`] | 2-/3-term query traces with disjoint splits |
 //! | [`mp_eval`] | experiment harness for every table and figure |
+//! | [`mp_serve`] | concurrent, cache-backed query-serving front-end |
 //! | [`mp_obs`] | zero-dependency spans + metrics over the whole pipeline |
 
 #![forbid(unsafe_code)]
@@ -46,6 +47,7 @@ pub use mp_eval as eval;
 pub use mp_hidden as hidden;
 pub use mp_index as index;
 pub use mp_obs as obs;
+pub use mp_serve as serve;
 pub use mp_stats as stats;
 pub use mp_text as text;
 pub use mp_workload as workload;
@@ -58,5 +60,6 @@ pub mod prelude {
     };
     pub use mp_corpus::{Scenario, ScenarioConfig, ScenarioKind};
     pub use mp_hidden::{ContentSummary, HiddenWebDatabase, Mediator, SimulatedHiddenDb};
+    pub use mp_serve::{ServeConfig, ServeRequest, Server};
     pub use mp_workload::{Query, QueryGenConfig, TrainTestSplit};
 }

@@ -236,6 +236,83 @@ fn apro_degrades_gracefully_on_unreliable_databases() {
     }
 }
 
+/// Golden pin: the exact end-to-end answers (selection, certainty bits,
+/// probe trace, fused-hit order and score bits) for three representative
+/// fixed-seed queries, snapshotted to a fixture file. Engine refactors
+/// that shift any result — even a last-ulp score change — turn this red.
+///
+/// Regenerate deliberately with:
+///
+/// ```text
+/// MP_BLESS=1 cargo test --test end_to_end golden_pin
+/// ```
+#[test]
+fn golden_pin_of_three_representative_queries() {
+    let (ms, split, _model) = build_metasearcher(5);
+    let mut rendered = String::new();
+    for &qi in &[0usize, 7, 19] {
+        let query = &split.test.queries()[qi];
+        let mut policy = GreedyPolicy;
+        let result = ms.search(
+            query,
+            AproConfig {
+                k: 2,
+                threshold: 0.9,
+                metric: CorrectnessMetric::Partial,
+                max_probes: None,
+            },
+            &mut policy,
+            5,
+        );
+        rendered.push_str(&format!(
+            "query {qi} terms={:?}\n",
+            query.terms().iter().map(|t| t.0).collect::<Vec<_>>()
+        ));
+        rendered.push_str(&format!(
+            "  selected={:?} expected={:016x} satisfied={}\n",
+            result.outcome.selected,
+            result.outcome.expected.to_bits(),
+            result.outcome.satisfied
+        ));
+        for p in &result.outcome.probes {
+            rendered.push_str(&format!(
+                "  probe db={} actual={:016x} after={:016x}\n",
+                p.db,
+                p.actual.to_bits(),
+                p.expected_after.to_bits()
+            ));
+        }
+        for h in &result.hits {
+            rendered.push_str(&format!(
+                "  hit db={} doc={} score={:016x}\n",
+                h.db,
+                h.doc.0,
+                h.score.to_bits()
+            ));
+        }
+    }
+
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/end_to_end_golden.txt");
+    if std::env::var_os("MP_BLESS").is_some() {
+        std::fs::create_dir_all(fixture.parent().expect("fixture path has a parent"))
+            .expect("fixture directory is creatable");
+        std::fs::write(&fixture, &rendered).expect("fixture file is writable");
+        return;
+    }
+    let expected = std::fs::read_to_string(&fixture).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {} — run with MP_BLESS=1 to create it",
+            fixture.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "end-to-end results drifted from the golden snapshot \
+         (re-bless with MP_BLESS=1 if the change is intended)"
+    );
+}
+
 #[test]
 fn cost_aware_probing_integrates_end_to_end() {
     use mp_core::expected::RdState;
