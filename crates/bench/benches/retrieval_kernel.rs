@@ -1,0 +1,289 @@
+//! The rebuilt `cosine_topk` retrieval kernel vs the retained naive
+//! HashMap-accumulator reference, over a (docs × query-terms) matrix of
+//! Zipf-distributed synthetic collections.
+//!
+//! Besides the criterion targets, the bench merges its report into the
+//! `retrieval_kernel` section of `BENCH_apro.json`, recording per
+//! matrix point the naive and rebuilt kernel timings, the speedup, and
+//! the max-score pruning skip-rate observed by mp-obs (`ISSUE 5`
+//! acceptance: ≥ 3× at the largest point with a skip-rate > 0).
+//!
+//! Every timed batch is preceded by a bitwise parity check: the
+//! dispatched kernel, the forced-dense kernel, and the forced-pruned
+//! kernel must all return the naive reference's exact doc set, order,
+//! and score bit patterns — a speedup measured against diverging
+//! results would be meaningless.
+
+use criterion::{black_box, criterion_group, Criterion};
+use mp_index::{Document, IndexBuilder, InvertedIndex};
+use mp_text::TermId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// (documents, query terms) matrix; the last entry is the acceptance
+/// point.
+const POINTS: [(usize, usize); 4] = [(1_000, 2), (1_000, 6), (20_000, 2), (20_000, 6)];
+const VOCAB: usize = 4_000;
+const QUERIES: usize = 48;
+const TOP_K: usize = 10;
+const SEED: u64 = 0xD0C5;
+
+/// Zipf-ish synthetic collection: term ranks drawn with weight
+/// `1 / (rank + 1)` via inverse-CDF sampling, 20–60 occurrences per
+/// document — a few very common terms (long postings, the regime where
+/// the dense accumulator and max-score pruning both matter) and a long
+/// rare tail.
+fn build_corpus(docs: usize, rng: &mut StdRng) -> InvertedIndex {
+    let mut cdf = Vec::with_capacity(VOCAB);
+    let mut total = 0.0f64;
+    for rank in 0..VOCAB {
+        total += 1.0 / (rank as f64 + 1.0);
+        cdf.push(total);
+    }
+    let mut b = IndexBuilder::new();
+    for _ in 0..docs {
+        let len = rng.gen_range(20..60usize);
+        let mut d = Document::new();
+        for _ in 0..len {
+            let u: f64 = rng.gen::<f64>() * total;
+            let term = cdf.partition_point(|&c| c < u).min(VOCAB - 1);
+            d.add_term(TermId(term as u32), 1);
+        }
+        b.add(d);
+    }
+    b.build()
+}
+
+/// Query mix: one frequent head term (rank < 32) plus tail terms — the
+/// shape real keyword queries take, and the one where pruning pays.
+fn build_queries(terms: usize, rng: &mut StdRng) -> Vec<Vec<TermId>> {
+    (0..QUERIES)
+        .map(|_| {
+            let mut q = vec![TermId(rng.gen_range(0..32u32))];
+            while q.len() < terms {
+                q.push(TermId(rng.gen_range(32..VOCAB as u32)));
+            }
+            q
+        })
+        .collect()
+}
+
+fn assert_bit_parity(idx: &InvertedIndex, queries: &[Vec<TermId>]) {
+    for q in queries {
+        let reference = idx.cosine_topk_naive(q, TOP_K);
+        for (kernel, got) in [
+            ("dispatch", idx.cosine_topk(q, TOP_K)),
+            ("dense", idx.cosine_topk_dense_for_test(q, TOP_K)),
+            ("pruned", idx.cosine_topk_pruned_for_test(q, TOP_K)),
+        ] {
+            assert_eq!(got.len(), reference.len(), "{kernel}: length mismatch");
+            for (a, b) in got.iter().zip(&reference) {
+                assert!(
+                    a.doc == b.doc && a.score.to_bits() == b.score.to_bits(),
+                    "{kernel} kernel diverged from the naive reference"
+                );
+            }
+        }
+    }
+}
+
+/// Median wall-clock nanoseconds of `repeats` runs of `f` (after one
+/// warm-up run).
+fn median_ns<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    let (_, median, _, _) = criterion::summarize(&samples);
+    median
+}
+
+#[derive(Serialize)]
+struct PointReport {
+    docs: usize,
+    query_terms: usize,
+    queries: usize,
+    top_k: usize,
+    /// Naive HashMap-kernel batch time (all queries once).
+    naive_ns: f64,
+    /// Rebuilt dispatched-kernel batch time.
+    kernel_ns: f64,
+    /// Forced dense term-at-a-time batch time (dispatch bypassed).
+    dense_ns: f64,
+    /// Forced max-score pruned batch time (dispatch bypassed).
+    pruned_ns: f64,
+    speedup: f64,
+    /// Documents the pruned kernel proved unable to enter the top-k
+    /// (skipped without scoring) over one instrumented batch.
+    prune_skipped: u64,
+    /// Documents fully scored over the same batch (both kernels).
+    docs_scored: u64,
+    /// `prune_skipped / (prune_skipped + docs_scored)`.
+    skip_rate: f64,
+    /// Dispatch split over the instrumented batch.
+    queries_pruned: u64,
+    queries_dense: u64,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    bench: String,
+    vocab: usize,
+    repeats: usize,
+    points: Vec<PointReport>,
+}
+
+fn counter_value(snap: &mp_obs::Snapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|c| c.name == name)
+        .map(|c| c.value)
+        .unwrap_or(0)
+}
+
+fn write_kernel_report() {
+    let repeats = 7;
+    let mut points = Vec::new();
+    for (docs, terms) in POINTS {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (docs as u64) ^ ((terms as u64) << 32));
+        let idx = build_corpus(docs, &mut rng);
+        let queries = build_queries(terms, &mut rng);
+        assert_bit_parity(&idx, &queries);
+
+        // Skip-rate and dispatch split from one instrumented batch.
+        mp_obs::reset();
+        mp_obs::set_enabled(true);
+        for q in &queries {
+            black_box(idx.cosine_topk(q, TOP_K));
+        }
+        let snap = mp_obs::snapshot();
+        let prune_skipped = counter_value(&snap, "index.prune_skipped");
+        let docs_scored = counter_value(&snap, "index.docs_scored");
+        let queries_pruned = counter_value(&snap, "index.queries_pruned");
+        let queries_dense = counter_value(&snap, "index.queries_dense");
+        let skip_rate = prune_skipped as f64 / (prune_skipped + docs_scored).max(1) as f64;
+
+        // Timed batches with recording off (hot-path conditions).
+        mp_obs::set_enabled(false);
+        let naive_ns = median_ns(repeats, || {
+            queries
+                .iter()
+                .map(|q| idx.cosine_topk_naive(q, TOP_K).len())
+                .sum::<usize>()
+        });
+        let kernel_ns = median_ns(repeats, || {
+            queries
+                .iter()
+                .map(|q| idx.cosine_topk(q, TOP_K).len())
+                .sum::<usize>()
+        });
+        let dense_ns = median_ns(repeats, || {
+            queries
+                .iter()
+                .map(|q| idx.cosine_topk_dense_for_test(q, TOP_K).len())
+                .sum::<usize>()
+        });
+        let pruned_ns = median_ns(repeats, || {
+            queries
+                .iter()
+                .map(|q| idx.cosine_topk_pruned_for_test(q, TOP_K).len())
+                .sum::<usize>()
+        });
+        mp_obs::set_enabled(true);
+        let speedup = naive_ns / kernel_ns;
+        eprintln!(
+            "retrieval_kernel docs={docs} terms={terms}: naive {:.3} ms, rebuilt {:.3} ms \
+             (dense {:.3} ms, pruned {:.3} ms), speedup {speedup:.1}x, skip-rate {:.1}% \
+             ({queries_pruned} pruned / {queries_dense} dense)",
+            naive_ns / 1e6,
+            kernel_ns / 1e6,
+            dense_ns / 1e6,
+            pruned_ns / 1e6,
+            skip_rate * 100.0
+        );
+        points.push(PointReport {
+            docs,
+            query_terms: terms,
+            queries: QUERIES,
+            top_k: TOP_K,
+            naive_ns,
+            kernel_ns,
+            dense_ns,
+            pruned_ns,
+            speedup,
+            prune_skipped,
+            docs_scored,
+            skip_rate,
+            queries_pruned,
+            queries_dense,
+        });
+    }
+    let largest = points.last().expect("matrix is non-empty");
+    assert!(
+        largest.speedup >= 3.0,
+        "acceptance: rebuilt kernel must be ≥ 3x the naive reference at the largest point, \
+         got {:.2}x",
+        largest.speedup
+    );
+    assert!(
+        largest.prune_skipped > 0,
+        "acceptance: max-score pruning must skip documents at the largest point"
+    );
+    let report = KernelReport {
+        bench: "cosine_topk rebuilt kernel vs naive HashMap reference".to_string(),
+        vocab: VOCAB,
+        repeats,
+        points,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apro.json");
+    mp_bench::merge_bench_json(
+        std::path::Path::new(path),
+        "retrieval_kernel",
+        report.to_value(),
+    )
+    .expect("BENCH_apro.json written");
+    eprintln!("wrote {path} (section retrieval_kernel)");
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (docs, terms) = POINTS[POINTS.len() - 1];
+    let mut rng = StdRng::seed_from_u64(SEED ^ (docs as u64) ^ ((terms as u64) << 32));
+    let idx = build_corpus(docs, &mut rng);
+    let queries = build_queries(terms, &mut rng);
+    c.bench_function(&format!("index/cosine_topk_naive_d{docs}_t{terms}"), |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| black_box(idx.cosine_topk_naive(q, TOP_K)).len())
+                .sum::<usize>()
+        })
+    });
+    c.bench_function(&format!("index/cosine_topk_d{docs}_t{terms}"), |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| black_box(idx.cosine_topk(q, TOP_K)).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+
+fn main() {
+    benches();
+    write_kernel_report();
+}

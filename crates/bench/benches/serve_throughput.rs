@@ -10,9 +10,20 @@
 //! APro), which is exactly why the workload is repeat-heavy; extra
 //! workers add whatever overlap the machine actually has.
 //!
+//! Beyond the acceptance matrix, the bench measures a cold-cache
+//! **worker-scaling** sweep (1 / 2 / 4 workers) twice: once with the
+//! inner `mp-core::par` fan-out enabled and once with it forced off via
+//! [`mp_core::par::set_parallel_enabled`] (the runtime equivalent of
+//! building without the `parallel` feature). Each scenario records a
+//! `scaling_efficiency` — `qps / (workers × qps of the matching
+//! 1-worker row)` — so the next PR can read off whether flat cold
+//! scaling means the inner fan-out already saturates the cores
+//! (efficiency recovers with `inner_parallel: false`) or a shared lock
+//! serializes cold misses (efficiency stays flat either way).
+//!
 //! The report is merged into the `serve_throughput` section of
-//! `BENCH_apro.json` at the repository root; the `apro_scaling` bench
-//! owns the file's other section.
+//! `BENCH_apro.json` at the repository root; the `apro_scaling` and
+//! `retrieval_kernel` benches own the file's other sections.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,13 +46,20 @@ const RUNS: usize = 5;
 struct ScenarioReport {
     workers: usize,
     cache_cap: usize,
+    /// Whether the inner `mp-core::par` fan-out was enabled for this
+    /// row (`false` ≙ the `parallel` feature compiled out).
+    inner_parallel: bool,
     runs: usize,
     /// Median wall nanoseconds for the whole batch.
     wall_ns: f64,
     /// Requests served per second at the median.
     qps: f64,
+    /// `qps / (workers × qps of the matching 1-worker row)` — the
+    /// matching row shares this row's cache capacity and
+    /// `inner_parallel` setting. 1.0 means perfect linear scaling.
+    scaling_efficiency: f64,
     /// Cache accounting from the last run (deterministic for the
-    /// 1-worker rows; representative for the 4-worker ones).
+    /// 1-worker rows; representative for the multi-worker ones).
     hits: u64,
     misses: u64,
     dedup_joins: u64,
@@ -91,7 +109,9 @@ fn run_scenario(
     requests: &[ServeRequest],
     workers: usize,
     cache_cap: usize,
+    inner_parallel: bool,
 ) -> ScenarioReport {
+    mp_core::par::set_parallel_enabled(inner_parallel);
     let mut walls = Vec::with_capacity(RUNS);
     let mut last_stats = None;
     // Warm-up run absorbs first-touch effects (lazy allocs, page-ins).
@@ -108,11 +128,13 @@ fn run_scenario(
             last_stats = Some(server.stats());
         }
     }
+    mp_core::par::set_parallel_enabled(true);
     let (_, wall_ns, _, _) = criterion::summarize(&walls);
     let stats = last_stats.expect("at least one measured run");
     let qps = requests.len() as f64 / (wall_ns / 1e9);
     eprintln!(
-        "serve_throughput workers={workers} cache_cap={cache_cap}: \
+        "serve_throughput workers={workers} cache_cap={cache_cap} \
+         inner_parallel={inner_parallel}: \
          {:.1} ms/batch, {qps:.0} q/s (hits {} misses {} joins {})",
         wall_ns / 1e6,
         stats.hits,
@@ -122,12 +144,32 @@ fn run_scenario(
     ScenarioReport {
         workers,
         cache_cap,
+        inner_parallel,
         runs: RUNS,
         wall_ns,
         qps,
+        scaling_efficiency: 1.0, // filled in once all rows are measured
         hits: stats.hits,
         misses: stats.misses,
         dedup_joins: stats.dedup_joins,
+    }
+}
+
+/// Fills `scaling_efficiency` for every row from its matching 1-worker
+/// row (same cache capacity and `inner_parallel` setting).
+fn fill_scaling_efficiency(scenarios: &mut [ScenarioReport]) {
+    let singles: Vec<(usize, bool, f64)> = scenarios
+        .iter()
+        .filter(|s| s.workers == 1)
+        .map(|s| (s.cache_cap, s.inner_parallel, s.qps))
+        .collect();
+    for s in scenarios.iter_mut() {
+        let base = singles
+            .iter()
+            .find(|&&(cap, par, _)| cap == s.cache_cap && par == s.inner_parallel)
+            .map(|&(_, _, qps)| qps)
+            .expect("every matrix row has a matching 1-worker baseline row");
+        s.scaling_efficiency = s.qps / (s.workers as f64 * base);
     }
 }
 
@@ -145,19 +187,38 @@ fn main() {
     assert_eq!(queries.len(), UNIQUE, "testbed provides the unique set");
     let requests = stream(&queries);
 
-    let matrix = [(1usize, 0usize), (1, 1024), (4, 0), (4, 1024)];
-    let scenarios: Vec<ScenarioReport> = matrix
+    // Acceptance matrix (inner fan-out on) + cold-cache worker-scaling
+    // sweep with the inner fan-out on vs forced off.
+    let matrix = [
+        (1usize, 0usize, true),
+        (1, 1024, true),
+        (2, 0, true),
+        (4, 0, true),
+        (4, 1024, true),
+        (1, 0, false),
+        (2, 0, false),
+        (4, 0, false),
+    ];
+    let mut scenarios: Vec<ScenarioReport> = matrix
         .iter()
-        .map(|&(workers, cap)| run_scenario(&ms, &requests, workers, cap))
+        .map(|&(workers, cap, par)| run_scenario(&ms, &requests, workers, cap, par))
         .collect();
+    fill_scaling_efficiency(&mut scenarios);
+    for s in &scenarios {
+        eprintln!(
+            "serve_throughput workers={} cache_cap={} inner_parallel={}: \
+             scaling efficiency {:.2}",
+            s.workers, s.cache_cap, s.inner_parallel, s.scaling_efficiency
+        );
+    }
 
     let baseline = scenarios
         .iter()
-        .find(|s| s.workers == 1 && s.cache_cap == 0)
+        .find(|s| s.workers == 1 && s.cache_cap == 0 && s.inner_parallel)
         .expect("baseline scenario present");
     let candidate = scenarios
         .iter()
-        .find(|s| s.workers == 4 && s.cache_cap > 0)
+        .find(|s| s.workers == 4 && s.cache_cap > 0 && s.inner_parallel)
         .expect("candidate scenario present");
     let speedup = candidate.qps / baseline.qps;
     eprintln!("serve_throughput speedup (4w cached vs 1w cold): {speedup:.1}x");

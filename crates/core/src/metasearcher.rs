@@ -211,11 +211,15 @@ impl Metasearcher {
     ) -> MetasearchResult {
         let outcome = self.select_adaptive_with_rds(query, rds, config, policy);
         let top_n = self.library.config().probe_top_n.max(fuse_limit);
-        let responses: Vec<_> = outcome
-            .selected
-            .iter()
-            .map(|&i| (i, self.mediator.db(i).search(query.terms(), top_n)))
-            .collect();
+        // Fan the selected-database searches across cores: each search
+        // runs the retrieval kernel against an independent index with
+        // its own thread-local scratch, and `par_map_indexed` preserves
+        // index order, so the fused ranking is bit-identical to the
+        // sequential dispatch.
+        let responses: Vec<_> = crate::par::par_map_indexed(outcome.selected.len(), 4, |j| {
+            let i = outcome.selected[j];
+            (i, self.mediator.db(i).search(query.terms(), top_n))
+        });
         let hits = fuse(&responses, fuse_limit);
         MetasearchResult {
             probes_used: outcome.n_probes(),

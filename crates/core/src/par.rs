@@ -9,10 +9,43 @@
 //! regardless of thread count or feature flags. Determinism therefore
 //! never depends on scheduling.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The process-wide runtime fan-out switch, seeded from `MP_PAR` on
+/// first use (same contract as `MP_OBS`: `0`/`false`/`off`/`no`
+/// disables, anything else — including unset — enables).
+fn flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = match std::env::var("MP_PAR") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+            Err(_) => true,
+        };
+        AtomicBool::new(on)
+    })
+}
+
+/// True when the fork-join path may be taken: the `parallel` feature is
+/// compiled in *and* the runtime switch (`MP_PAR`,
+/// [`set_parallel_enabled`]) is on.
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel") && flag().load(Ordering::Relaxed)
+}
+
+/// Flips the runtime fan-out switch. Overrides the `MP_PAR` environment
+/// seeding; benches use this to measure the sequential baseline in a
+/// `parallel`-enabled build — results are bit-identical either way, so
+/// the switch only affects scheduling, never output.
+pub fn set_parallel_enabled(on: bool) {
+    flag().store(on, Ordering::Relaxed);
+}
+
 /// Maps `f` over `0..n`, preserving order. With the `parallel` feature
 /// the work is chunked over scoped threads once it is plausibly worth a
-/// fork-join (`n ≥ min_chunk`); small inputs and `--no-default-features`
-/// builds run the plain sequential loop.
+/// fork-join (`n ≥ min_chunk`); small inputs, `--no-default-features`
+/// builds, and runs with the fan-out switched off (`MP_PAR=0` or
+/// [`set_parallel_enabled`]`(false)`) run the plain sequential loop.
 ///
 /// Panics in `f` propagate (scoped threads re-raise on join).
 pub fn par_map_indexed<T, F>(n: usize, min_chunk: usize, f: F) -> Vec<T>
@@ -26,7 +59,7 @@ where
             .map(|p| p.get())
             .unwrap_or(1)
             .min(n.max(1));
-        if threads > 1 && n >= min_chunk.max(2) {
+        if parallel_enabled() && threads > 1 && n >= min_chunk.max(2) {
             mp_obs::counter!("par.fanouts").incr();
             let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
             let chunk = n.div_ceil(threads);
@@ -81,6 +114,21 @@ mod tests {
         let par = par_map_indexed(64, 2, work);
         let seq: Vec<f64> = (0..64).map(work).collect();
         for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn runtime_switch_forces_sequential_with_identical_results() {
+        // Note: the switch is process-wide, so restore it before the
+        // test ends regardless of assertion outcome order.
+        let work = |i: usize| (i as f64).sin();
+        let on = par_map_indexed(32, 2, work);
+        set_parallel_enabled(false);
+        assert!(!parallel_enabled());
+        let off = par_map_indexed(32, 2, work);
+        set_parallel_enabled(true);
+        for (a, b) in on.iter().zip(&off) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
     }

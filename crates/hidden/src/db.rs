@@ -2,7 +2,7 @@
 
 use mp_index::{Document, InvertedIndex, ScoredDoc};
 use mp_text::TermId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// What a Hidden-Web database returns for one query: the answer page.
@@ -62,6 +62,11 @@ pub struct SimulatedHiddenDb {
     index: InvertedIndex,
     exports_size: bool,
     probes: AtomicU64,
+    /// When false, `search` skips the probe-log mutex entirely. The
+    /// log exists for diagnostics and tests; under concurrent serving
+    /// it is a lock (plus a per-probe allocation) every worker takes on
+    /// every cold search, so throughput harnesses switch it off.
+    log_probes: AtomicBool,
     /// Recent probe queries, for diagnostics and tests.
     probe_log: Mutex<Vec<Vec<TermId>>>,
 }
@@ -84,6 +89,7 @@ impl SimulatedHiddenDb {
             index,
             exports_size: true,
             probes: AtomicU64::new(0),
+            log_probes: AtomicBool::new(true),
             probe_log: Mutex::new(Vec::new()),
         }
     }
@@ -92,6 +98,15 @@ impl SimulatedHiddenDb {
     /// sites that don't export document counts.
     pub fn without_size_export(mut self) -> Self {
         self.exports_size = false;
+        self
+    }
+
+    /// Disables per-probe query logging (and its mutex acquisition) —
+    /// used by throughput benches where the log is both unread and a
+    /// cross-worker serialization point. Probe *counting* is atomic and
+    /// stays on.
+    pub fn without_probe_log(self) -> Self {
+        self.log_probes.store(false, Ordering::Relaxed);
         self
     }
 
@@ -120,10 +135,12 @@ impl HiddenWebDatabase for SimulatedHiddenDb {
         let _span = mp_obs::span!("hidden.search");
         mp_obs::counter!("probe.attempts").incr();
         self.probes.fetch_add(1, Ordering::Relaxed);
-        self.probe_log
-            .lock()
-            .expect("probe-log mutex poisoned: a prior holder panicked")
-            .push(query.to_vec());
+        if self.log_probes.load(Ordering::Relaxed) {
+            self.probe_log
+                .lock()
+                .expect("probe-log mutex poisoned: a prior holder panicked")
+                .push(query.to_vec());
+        }
         SearchResponse {
             match_count: self.index.count_matching(query),
             top_docs: self.index.cosine_topk(query, top_n),
@@ -198,6 +215,15 @@ mod tests {
         let doc = db.fetch(r.top_docs[0].doc);
         assert!(doc.contains(t(2)));
         assert_eq!(db.probe_count(), 1);
+    }
+
+    #[test]
+    fn probe_log_can_be_disabled_without_losing_counts() {
+        let db = sample_db().without_probe_log();
+        db.search(&[t(1)], 0);
+        db.search(&[t(2)], 0);
+        assert_eq!(db.probe_count(), 2);
+        assert!(db.probe_log().is_empty());
     }
 
     #[test]

@@ -17,8 +17,10 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub(crate) mod derived;
 pub mod document;
 pub mod index;
+pub mod scratch;
 pub mod topk;
 pub mod types;
 

@@ -31,7 +31,7 @@ impl PartialOrd for WorstFirst {
 ///
 /// `O(log k)` per offer, `O(k log k)` to finish. Ties are broken by
 /// ascending doc id, matching [`ScoredDoc::ranking_cmp`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TopK {
     k: usize,
     heap: BinaryHeap<WorstFirst>,
@@ -47,6 +47,29 @@ impl TopK {
             k,
             heap: BinaryHeap::with_capacity(k.saturating_add(1).min(1 << 12)),
         }
+    }
+
+    /// Re-arms a (possibly used) collector for a fresh query with bound
+    /// `k`, keeping the heap's allocation — this is what lets the
+    /// thread-local scratch pool serve every query without a per-query
+    /// heap allocation.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// True once `k` results are held — from then on every further
+    /// `offer` must beat [`Self::threshold`] to get in.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The currently-worst kept result (the k-th best so far), if any —
+    /// the exact entry bar a new candidate must clear once the
+    /// collector [`Self::is_full`]. This is the pruning threshold θ of
+    /// the max-score kernel.
+    pub fn threshold(&self) -> Option<ScoredDoc> {
+        self.heap.peek().map(|w| w.0)
     }
 
     /// Offers a candidate result.
@@ -78,6 +101,15 @@ impl TopK {
     /// Consumes the collector, returning results best-first.
     pub fn into_sorted(self) -> Vec<ScoredDoc> {
         let mut v: Vec<ScoredDoc> = self.heap.into_iter().map(|w| w.0).collect();
+        v.sort_by(|a, b| a.ranking_cmp(b));
+        v
+    }
+
+    /// Drains the collector into a fresh best-first `Vec`, leaving the
+    /// heap empty but with its capacity intact for the next
+    /// [`Self::reset`]. Only the returned result vector is allocated.
+    pub fn drain_sorted(&mut self) -> Vec<ScoredDoc> {
+        let mut v: Vec<ScoredDoc> = self.heap.drain().map(|w| w.0).collect();
         v.sort_by(|a, b| a.ranking_cmp(b));
         v
     }

@@ -130,6 +130,15 @@ mod tests {
         assert!(!classify("crates/lint/src/main.rs").l3_library);
         assert!(classify("crates/lint/src/lexer.rs").l3_library);
         assert!(classify("src/lib.rs").l3_library);
+        // PR 5 retrieval-kernel files are ordinary library code: fully
+        // linted, no exemptions.
+        assert!(classify("crates/index/src/derived.rs").l3_library);
+        assert!(classify("crates/index/src/scratch.rs").l3_library);
+        assert!(classify("crates/index/src/derived.rs").l8_library);
+        assert!(classify("crates/index/src/scratch.rs").l8_library);
+        assert!(!classify("crates/index/src/scratch.rs").l4_exempt);
+        assert!(classify("crates/index/tests/kernel_equivalence.rs").test_file);
+        assert!(classify("crates/bench/benches/retrieval_kernel.rs").test_file);
 
         assert!(classify("crates/core/src/par.rs").l4_exempt);
         assert!(classify("crates/serve/src/pool.rs").l4_exempt);

@@ -31,9 +31,21 @@ impl Drop for CloseOnDrop<'_> {
 pub(crate) fn run_scoped<R>(server: &Server, driver: impl FnOnce(&Client<'_>) -> R) -> R {
     let queue = BoundedQueue::new(server.config().queue_cap.max(1));
     let workers = server.config().workers.max(1);
+    // Pre-size each worker's thread-local retrieval scratch for the
+    // largest mediated collection, so no serve-path query ever grows
+    // (= reallocates) the dense accumulator mid-request. Databases
+    // hiding their size fall back to lazy growth on first contact.
+    let warm_docs = {
+        let med = server.metasearcher().mediator();
+        (0..med.len())
+            .filter_map(|i| med.db(i).size_hint())
+            .max()
+            .unwrap_or(0) as usize
+    };
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                mp_index::scratch::warm(warm_docs);
                 while let Some(job) = queue.pop() {
                     server.handle(job);
                 }
