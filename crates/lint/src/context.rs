@@ -21,6 +21,10 @@ pub struct FileClass {
     /// Tracks `l3_library` today; kept separate so the two scopes can
     /// diverge without re-classifying the workspace.
     pub l8_library: bool,
+    /// File is a serve-hot-path module (the worker-facing serving and
+    /// probe layers): L9 applies — every shared-lock primitive must
+    /// carry an `allow(L9)` audit note or be removed.
+    pub l9_hot_path: bool,
 }
 
 /// A parsed `// mp-lint: allow(rule, …): justification` comment. The

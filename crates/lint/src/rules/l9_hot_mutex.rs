@@ -1,0 +1,117 @@
+//! L9 — shared-lock primitives inside serve-hot-path modules.
+//!
+//! The cold serve path was de-contended by design: probe outcomes come
+//! from a counter-keyed RNG stream, probe accounting from per-worker
+//! shards, and counters from striped relaxed atomics — so a cold
+//! request never takes a cross-worker lock per probe. A `Mutex`,
+//! `RwLock`, or `Condvar` reappearing in one of those modules is how
+//! that property silently erodes: one innocent-looking field turns
+//! every worker into a convoy again and the scaling-efficiency guard
+//! only catches it a bench run later.
+//!
+//! In files classified `l9_hot_path` (the worker-facing serving and
+//! probe modules — see `walk::classify`), any `Mutex` / `RwLock` /
+//! `Condvar` identifier outside test code and outside `use`
+//! declarations is flagged. The sanctioned residual locks — the queue
+//! handoff, response rendezvous, cache shards, dedup flight table, and
+//! opt-in probe-log shards — each carry an `allow(L9)` comment whose
+//! justification states why the lock is off the per-probe path or
+//! effectively uncontended. That allow-list *is* the audit: adding a
+//! lock means writing down why it is sound.
+
+use super::diag_at;
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+const HINT: &str = "keep the per-probe path lock-free (per-worker shard, striped \
+                    atomic, or counter-keyed stream), or justify the lock with \
+                    `// mp-lint: allow(L9): <why it is off the hot path>`";
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    if !a.class.l9_hot_path {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Import lines name the types without acquiring anything; track
+    // `use … ;` spans so they never fire.
+    let mut in_use = false;
+    for (i, t) in a.code.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "use" {
+            in_use = true;
+        } else if in_use && t.text == ";" {
+            in_use = false;
+        }
+        if in_use || a.is_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if LOCK_TYPES.contains(&t.text.as_str()) {
+            out.push(diag_at(
+                a,
+                "L9",
+                i,
+                format!("`{}` in a serve-hot-path module", t.text),
+                HINT,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l9_count(src: &str, hot: bool) -> usize {
+        let class = FileClass {
+            l9_hot_path: hot,
+            ..FileClass::default()
+        };
+        let a = Analysis::build("f.rs", src, class);
+        run_rules(&a).iter().filter(|d| d.rule == "L9").count()
+    }
+
+    #[test]
+    fn flags_every_lock_primitive() {
+        assert_eq!(l9_count("struct S { m: Mutex<u64> }", true), 1);
+        assert_eq!(l9_count("struct S { m: std::sync::RwLock<u64> }", true), 1);
+        assert_eq!(l9_count("struct S { c: Condvar }", true), 1);
+        assert_eq!(l9_count("fn f() { let m = Mutex::new(0); }", true), 1);
+    }
+
+    #[test]
+    fn skips_imports_tests_and_cold_modules() {
+        assert_eq!(l9_count("use std::sync::{Mutex, Condvar};", true), 0);
+        assert_eq!(
+            l9_count(
+                "#[cfg(test)]\nmod t { fn f() { let m = Mutex::new(0); } }",
+                true
+            ),
+            0
+        );
+        assert_eq!(l9_count("struct S { m: Mutex<u64> }", false), 0);
+        // Guard types share a prefix but are not acquisitions-by-type.
+        assert_eq!(l9_count("fn f(g: MutexGuard<u64>) {}", true), 0);
+        // A `use` inside a body ends at its `;` — code after it fires.
+        assert_eq!(
+            l9_count(
+                "fn f() { use std::sync::Mutex; let m = Mutex::new(0); }",
+                true
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn allow_comment_suppresses_one_site() {
+        let src = "// mp-lint: allow(L9): O(1) handoff, never held across a probe\n\
+                   struct S { m: Mutex<u64>,\n c: Condvar }";
+        assert_eq!(l9_count(src, true), 1, "only the covered line is allowed");
+        let both = "// mp-lint: allow(L9): O(1) handoff, never held across a probe\n\
+                    struct S { m: Mutex<u64> }";
+        assert_eq!(l9_count(both, true), 0);
+    }
+}

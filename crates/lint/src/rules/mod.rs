@@ -14,6 +14,7 @@ mod l5_cfg_parallel;
 mod l6_pmf_audit;
 mod l7_todo;
 mod l8_println;
+mod l9_hot_mutex;
 
 use crate::context::Analysis;
 use crate::diagnostics::{Diagnostic, Level};
@@ -22,7 +23,7 @@ use crate::lexer::{TokKind, Token};
 /// Static description of one rule.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Canonical id (`L1` … `L8`, `A0`).
+    /// Canonical id (`L1` … `L9`, `A0`).
     pub id: &'static str,
     /// Human name, also accepted in `allow(...)`.
     pub name: &'static str,
@@ -83,6 +84,12 @@ pub const RULES: &[RuleInfo] = &[
         default_level: Level::Deny,
     },
     RuleInfo {
+        id: "L9",
+        name: "hot-path-lock",
+        summary: "`Mutex`/`RwLock`/`Condvar` in a serve-hot-path module",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
         id: "A0",
         name: "suppression",
         summary: "malformed or unjustified mp-lint suppression comment",
@@ -118,6 +125,7 @@ pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
     out.extend(l6_pmf_audit::check(a));
     out.extend(l7_todo::check(a));
     out.extend(l8_println::check(a));
+    out.extend(l9_hot_mutex::check(a));
     out.retain(|d| !a.suppressed(d.rule, d.line));
     out.extend(a.meta_diags.iter().cloned());
     out.sort_by_key(|d| (d.line, d.col));

@@ -104,6 +104,14 @@ pub fn classify(rel: &str) -> FileClass {
             class.l8_library = class.l3_library;
             class.l4_exempt = (*krate == "core" && rest == ["par.rs"])
                 || (*krate == "serve" && rest == ["pool.rs"]);
+            // The modules a cold serve request traverses per probe: the
+            // PR-6 de-contention audit holds them lock-free by default.
+            class.l9_hot_path = (*krate == "serve"
+                && matches!(
+                    rest,
+                    ["server.rs" | "stats.rs" | "cache.rs" | "queue.rs" | "pool.rs"]
+                ))
+                || (*krate == "hidden" && matches!(rest, ["db.rs" | "unreliable.rs"]));
         }
         ["crates", _, "tests" | "benches", ..] => class.test_file = true,
         _ => {}
@@ -145,6 +153,20 @@ mod tests {
         assert!(!classify("crates/serve/src/cache.rs").l4_exempt);
         assert!(!classify("crates/eval/src/runner.rs").l4_exempt);
         assert!(classify("crates/serve/src/server.rs").l3_library);
+
+        // PR 6 shared-nothing audit: the serve-hot-path modules are
+        // under L9; everything else (including their tests) is not.
+        assert!(classify("crates/serve/src/server.rs").l9_hot_path);
+        assert!(classify("crates/serve/src/stats.rs").l9_hot_path);
+        assert!(classify("crates/serve/src/cache.rs").l9_hot_path);
+        assert!(classify("crates/serve/src/queue.rs").l9_hot_path);
+        assert!(classify("crates/serve/src/pool.rs").l9_hot_path);
+        assert!(classify("crates/hidden/src/db.rs").l9_hot_path);
+        assert!(classify("crates/hidden/src/unreliable.rs").l9_hot_path);
+        assert!(!classify("crates/serve/src/lib.rs").l9_hot_path);
+        assert!(!classify("crates/hidden/src/mediator.rs").l9_hot_path);
+        assert!(!classify("crates/obs/src/registry.rs").l9_hot_path);
+        assert!(!classify("crates/serve/tests/queue_stress.rs").l9_hot_path);
 
         assert!(classify("crates/obs/src/export.rs").l8_library);
         assert!(classify("src/lib.rs").l8_library);

@@ -1,0 +1,30 @@
+//! Fixture seeding rule L9: shared locks in serve-hot-path modules.
+//! Not compiled — lexed and linted by `fixtures_test.rs`.
+
+use std::sync::{Condvar, Mutex, RwLock};
+
+pub struct HotState {
+    slots: Mutex<Vec<u64>>,
+    readers: RwLock<u64>,
+    wake: Condvar,
+}
+
+// mp-lint: allow(L9): O(1) handoff cell, never held across a probe
+pub fn sanctioned(cell: &Mutex<u64>) -> bool {
+    cell.try_lock().is_ok()
+}
+
+pub fn grows_the_convoy() -> Mutex<()> {
+    Mutex::new(())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn locks_in_tests_are_fine() {
+        let m = Mutex::new(0u64);
+        let _ = m.lock();
+    }
+}

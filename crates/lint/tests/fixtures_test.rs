@@ -35,6 +35,7 @@ fn lint_fixture(name: &str) -> Vec<Diagnostic> {
     let class = FileClass {
         l3_library: true,
         l8_library: true,
+        l9_hot_path: true,
         ..FileClass::default()
     };
     lint_source(name, &source, class)
@@ -100,7 +101,7 @@ fn every_rule_is_seeded_by_some_fixture() {
             seeded.insert(d.rule);
         }
     }
-    for rule in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "A0"] {
+    for rule in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "A0"] {
         assert!(seeded.contains(rule), "no fixture seeds rule {rule}");
     }
 }

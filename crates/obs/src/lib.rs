@@ -73,12 +73,14 @@ mod export;
 mod metrics;
 mod registry;
 mod span;
+mod stripe;
 
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 pub use registry::{
     reset, snapshot, CounterRow, GaugeRow, HistogramRow, Snapshot, SpanRow, SCHEMA,
 };
 pub use span::SpanGuard;
+pub use stripe::{StripedU64, STRIPES};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

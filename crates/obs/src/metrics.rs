@@ -12,11 +12,18 @@
 #[cfg(feature = "obs")]
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
+#[cfg(feature = "obs")]
+use crate::stripe::StripedU64;
+
 /// A monotone event counter.
+///
+/// Backed by a [`StripedU64`], so concurrent workers bumping the same
+/// counter (every probe increments `probe.attempts`) write disjoint
+/// cachelines instead of ping-ponging one; `get()` sums the stripes.
 #[cfg(feature = "obs")]
 #[derive(Debug, Default)]
 pub struct Counter {
-    value: AtomicU64,
+    value: StripedU64,
 }
 
 #[cfg(feature = "obs")]
@@ -29,7 +36,7 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if crate::is_enabled() {
-            self.value.fetch_add(n, Ordering::Relaxed);
+            self.value.add(n);
         }
     }
 
@@ -41,11 +48,11 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.get()
     }
 
     pub(crate) fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed);
+        self.value.reset();
     }
 }
 

@@ -131,6 +131,23 @@ fn edges() -> &'static Mutex<BTreeSet<(&'static str, &'static str)>> {
     E.get_or_init(|| Mutex::new(BTreeSet::new()))
 }
 
+/// Monotone generation for the edge set, bumped by [`reset`] so the
+/// per-thread seen-edge caches know to forget what they've reported.
+#[cfg(feature = "obs")]
+static EDGE_GEN: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(feature = "obs")]
+thread_local! {
+    /// Edges this thread already pushed into the global set (tagged with
+    /// the generation they were pushed under). A span open consults this
+    /// cache first, so the edge-set mutex is taken once per distinct
+    /// parent→child pair per thread, not once per span open — the edge
+    /// set is tiny and static after warm-up, while span opens are the
+    /// serving hot path.
+    static SEEN_EDGES: std::cell::RefCell<(u64, BTreeSet<(&'static str, &'static str)>)> =
+        const { std::cell::RefCell::new((0, BTreeSet::new())) };
+}
+
 #[cfg(feature = "obs")]
 pub(crate) fn span_stat(name: &'static str) -> &'static SpanStat {
     spans().get_or_insert(name, SpanStat::default)
@@ -138,8 +155,19 @@ pub(crate) fn span_stat(name: &'static str) -> &'static SpanStat {
 
 #[cfg(feature = "obs")]
 pub(crate) fn record_edge(parent: &'static str, child: &'static str) {
-    let mut set = edges().lock().expect("mp-obs edge-set mutex poisoned");
-    set.insert((parent, child));
+    let gen = EDGE_GEN.load(Ordering::Acquire);
+    let fresh = SEEN_EDGES.with(|seen| {
+        let mut seen = seen.borrow_mut();
+        if seen.0 != gen {
+            seen.0 = gen;
+            seen.1.clear();
+        }
+        seen.1.insert((parent, child))
+    });
+    if fresh {
+        let mut set = edges().lock().expect("mp-obs edge-set mutex poisoned");
+        set.insert((parent, child));
+    }
 }
 
 #[cfg(feature = "obs")]
@@ -342,6 +370,9 @@ pub fn reset() {
         .lock()
         .expect("mp-obs edge-set mutex poisoned")
         .clear();
+    // Invalidate every thread's seen-edge cache so re-observed edges
+    // repopulate the freshly cleared set.
+    EDGE_GEN.fetch_add(1, Ordering::Release);
 }
 
 /// Zeroes the registry — a no-op in this build (feature `obs` off).

@@ -28,12 +28,42 @@ pub enum TryPushError<T> {
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Threads blocked in [`BoundedQueue::pop`] on `not_empty`.
+    pop_waiters: usize,
+    /// Threads blocked in [`BoundedQueue::push_blocking`] on `not_full`.
+    push_waiters: usize,
 }
 
 /// A bounded multi-producer multi-consumer FIFO queue.
+///
+/// ## Condvar discipline (lost-wakeup audit)
+///
+/// Each condvar has a *homogeneous* waiter class — only poppers wait on
+/// `not_empty`, only blocking pushers on `not_full` — and every waiter
+/// re-checks its predicate under the mutex before each wait, so a
+/// wakeup whose predicate was stolen (a `try_push` grabbing the slot a
+/// popper just freed, or a fresh `pop` taking the item a push just
+/// added) sends the woken thread back to wait without ever blocking a
+/// thread whose predicate holds. Progress is preserved because the
+/// thief's own state transition re-notifies: a stolen slot holds an
+/// item whose eventual `pop` issues the next `not_full` notification,
+/// and a stolen item freed a slot whose eventual refill issues the next
+/// `not_empty` one. `close` uses `notify_all` on both condvars, so no
+/// waiter can sleep through shutdown.
+///
+/// Notifications are gated on the waiter counts (maintained under the
+/// mutex, read under the mutex before notifying): a state transition
+/// with no registered waiter skips the condvar syscall entirely, which
+/// keeps the uncontended serving path at one mutex round-trip. A waiter
+/// that registers *after* the gate check cannot be missed — it first
+/// re-checks the predicate under the same mutex, and the transition it
+/// would have been notified about is already visible to it.
 pub struct BoundedQueue<T> {
+    // mp-lint: allow(L9): the one sanctioned handoff lock — O(1) critical sections
     state: Mutex<State<T>>,
+    // mp-lint: allow(L9): waiter-count-gated; skipped entirely when nobody sleeps
     not_empty: Condvar,
+    // mp-lint: allow(L9): waiter-count-gated; skipped entirely when nobody sleeps
     not_full: Condvar,
     cap: usize,
 }
@@ -47,11 +77,16 @@ impl<T> BoundedQueue<T> {
     pub fn new(cap: usize) -> Self {
         assert!(cap >= 1, "queue capacity must be at least 1");
         Self {
+            // mp-lint: allow(L9): constructing the handoff state, not acquiring
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(cap),
                 closed: false,
+                pop_waiters: 0,
+                push_waiters: 0,
             }),
+            // mp-lint: allow(L9): constructing the handoff state, not acquiring
             not_empty: Condvar::new(),
+            // mp-lint: allow(L9): constructing the handoff state, not acquiring
             not_full: Condvar::new(),
             cap,
         }
@@ -71,8 +106,11 @@ impl<T> BoundedQueue<T> {
             return Err(TryPushError::Full(item));
         }
         st.items.push_back(item);
+        let wake = st.pop_waiters > 0;
         drop(st);
-        self.not_empty.notify_one();
+        if wake {
+            self.not_empty.notify_one();
+        }
         Ok(())
     }
 
@@ -86,14 +124,19 @@ impl<T> BoundedQueue<T> {
             }
             if st.items.len() < self.cap {
                 st.items.push_back(item);
+                let wake = st.pop_waiters > 0;
                 drop(st);
-                self.not_empty.notify_one();
+                if wake {
+                    self.not_empty.notify_one();
+                }
                 return Ok(());
             }
+            st.push_waiters += 1;
             st = self
                 .not_full
                 .wait(st)
                 .expect("mp-serve queue mutex poisoned");
+            st.push_waiters -= 1;
         }
     }
 
@@ -104,17 +147,22 @@ impl<T> BoundedQueue<T> {
         let mut st = self.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
+                let wake = st.push_waiters > 0;
                 drop(st);
-                self.not_full.notify_one();
+                if wake {
+                    self.not_full.notify_one();
+                }
                 return Some(item);
             }
             if st.closed {
                 return None;
             }
+            st.pop_waiters += 1;
             st = self
                 .not_empty
                 .wait(st)
                 .expect("mp-serve queue mutex poisoned");
+            st.pop_waiters -= 1;
         }
     }
 

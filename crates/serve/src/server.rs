@@ -280,14 +280,18 @@ impl ServeConfig {
 
 /// The write-once response cell a [`Ticket`] waits on.
 pub(crate) struct ResponseSlot {
+    // mp-lint: allow(L9): per-request write-once cell — caller/worker pair, no sharing
     cell: std::sync::Mutex<Option<Result<ServeResponse, ServeError>>>,
+    // mp-lint: allow(L9): signaled exactly once per request, off the probe loop
     ready: std::sync::Condvar,
 }
 
 impl ResponseSlot {
     fn new() -> Self {
         Self {
+            // mp-lint: allow(L9): constructing the per-request slot, not acquiring
             cell: std::sync::Mutex::new(None),
+            // mp-lint: allow(L9): constructing the per-request slot, not acquiring
             ready: std::sync::Condvar::new(),
         }
     }

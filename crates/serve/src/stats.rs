@@ -14,6 +14,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mp_obs::StripedU64;
+
 use crate::server::CacheStatus;
 
 const BOUNDS: &[u64] = mp_obs::bounds::LATENCY_US;
@@ -49,79 +51,81 @@ pub struct ServeStats {
     pub p99_us: u64,
 }
 
-/// The live atomics behind [`ServeStats`].
+/// The live counters behind [`ServeStats`].
+///
+/// Every per-request counter is a cacheline-striped [`StripedU64`]:
+/// concurrent workers completing requests write disjoint cachelines
+/// instead of serializing on one shared line, and `snapshot()` merges
+/// the stripes on export. Only `latency_max_us` stays a plain atomic —
+/// `fetch_max` needs the single authoritative cell.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCore {
-    completed: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    dedup_joins: AtomicU64,
-    rd_hits: AtomicU64,
-    rd_misses: AtomicU64,
-    rejects: AtomicU64,
-    deadline_misses: AtomicU64,
-    latency_sum_us: AtomicU64,
+    completed: StripedU64,
+    hits: StripedU64,
+    misses: StripedU64,
+    dedup_joins: StripedU64,
+    rd_hits: StripedU64,
+    rd_misses: StripedU64,
+    rejects: StripedU64,
+    deadline_misses: StripedU64,
+    latency_sum_us: StripedU64,
     latency_max_us: AtomicU64,
-    latency_buckets: Vec<AtomicU64>,
+    latency_buckets: Vec<StripedU64>,
 }
 
 impl StatsCore {
     pub(crate) fn new() -> Self {
         Self {
-            latency_buckets: (0..=BOUNDS.len()).map(|_| AtomicU64::new(0)).collect(),
+            latency_buckets: (0..=BOUNDS.len()).map(|_| StripedU64::new()).collect(),
             ..Self::default()
         }
     }
 
     pub(crate) fn reject(&self) {
-        self.rejects.fetch_add(1, Ordering::Relaxed);
+        self.rejects.incr();
         mp_obs::counter!("serve.rejects").incr();
     }
 
     pub(crate) fn deadline_miss(&self) {
-        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        self.deadline_misses.incr();
         mp_obs::counter!("serve.deadline_misses").incr();
     }
 
     pub(crate) fn rd_lookup(&self, hit: bool) {
         if hit {
-            self.rd_hits.fetch_add(1, Ordering::Relaxed);
+            self.rd_hits.incr();
             mp_obs::counter!("serve.rd_cache_hits").incr();
         } else {
-            self.rd_misses.fetch_add(1, Ordering::Relaxed);
+            self.rd_misses.incr();
             mp_obs::counter!("serve.rd_cache_misses").incr();
         }
     }
 
     pub(crate) fn complete(&self, status: CacheStatus, latency_us: u64) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.incr();
         match status {
             CacheStatus::Hit => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
                 mp_obs::counter!("serve.cache_hits").incr();
             }
             CacheStatus::Joined => {
-                self.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                self.dedup_joins.incr();
                 mp_obs::counter!("serve.dedup_joins").incr();
             }
             CacheStatus::Miss | CacheStatus::Bypass => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.incr();
                 mp_obs::counter!("serve.cache_misses").incr();
             }
         }
-        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.latency_sum_us.add(latency_us);
         self.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
         let idx = BOUNDS.partition_point(|&b| b < latency_us);
-        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_buckets[idx].incr();
         mp_obs::histogram!("serve.latency_us", BOUNDS).record(latency_us);
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
-        let buckets: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let buckets: Vec<u64> = self.latency_buckets.iter().map(|b| b.get()).collect();
         let latency_count: u64 = buckets.iter().sum();
         let latency_max_us = self.latency_max_us.load(Ordering::Relaxed);
         // Reuse mp-obs's bucket-quantile estimator so ServeStats and an
@@ -131,19 +135,19 @@ impl StatsCore {
             bounds: BOUNDS.to_vec(),
             buckets,
             count: latency_count,
-            sum: self.latency_sum_us.load(Ordering::Relaxed),
+            sum: self.latency_sum_us.get(),
             min: 0,
             max: latency_max_us,
         };
         ServeStats {
-            completed: self.completed.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            dedup_joins: self.dedup_joins.load(Ordering::Relaxed),
-            rd_hits: self.rd_hits.load(Ordering::Relaxed),
-            rd_misses: self.rd_misses.load(Ordering::Relaxed),
-            rejects: self.rejects.load(Ordering::Relaxed),
-            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            completed: self.completed.get(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            dedup_joins: self.dedup_joins.get(),
+            rd_hits: self.rd_hits.get(),
+            rd_misses: self.rd_misses.get(),
+            rejects: self.rejects.get(),
+            deadline_misses: self.deadline_misses.get(),
             latency_count,
             latency_sum_us: row.sum,
             latency_max_us,

@@ -182,6 +182,55 @@ fn served_probe_budgets_replay_the_sequential_run_exactly() {
     }
 }
 
+/// Failure-injection twin-replay across worker counts: with the
+/// counter-keyed injection stream, a probe's outcome is a pure function
+/// of (database seed, query, attempt index) — never of which worker ran
+/// it or when. So at *every* worker count the served results must be
+/// bit-identical to the sequential replay and the per-database
+/// [`ProbeBudget`] counters (attempts, retries, failures, outages) must
+/// match it exactly, even though workers interleave probes arbitrarily.
+#[test]
+fn twin_replay_is_bit_identical_and_budget_exact_at_every_worker_count() {
+    let fx = fixture();
+
+    // Sequential reference replay.
+    let (ms_seq, wrappers_seq) = flaky_twin(&fx);
+    let mut expected = Vec::new();
+    for q in &fx.queries {
+        let mut policy = GreedyPolicy;
+        expected.push(ms_seq.search(q, apro_config(), &mut policy, FUSE_LIMIT));
+    }
+    let expected_budgets = budgets(&wrappers_seq);
+    let total_attempts: u64 = expected_budgets.iter().map(|b| b.attempts).sum();
+    let total_retries: u64 = expected_budgets.iter().map(|b| b.retries).sum();
+    assert!(
+        total_attempts > 0 && total_retries > 0,
+        "workload is hostile"
+    );
+
+    for workers in [1usize, 2, 4, 8] {
+        let (ms, wrappers) = flaky_twin(&fx);
+        let server = Server::new(Arc::clone(&ms), ServeConfig::new(workers, 0));
+        let responses = server.serve_batch(
+            fx.queries
+                .iter()
+                .map(|q| ServeRequest::new(q.clone(), K, THRESHOLD)),
+        );
+        for (i, resp) in responses.into_iter().enumerate() {
+            let resp = resp.expect("back-pressure submission never rejects");
+            assert_eq!(
+                resp.result, expected[i],
+                "query {i} diverged from sequential replay at {workers} workers"
+            );
+        }
+        assert_eq!(
+            budgets(&wrappers),
+            expected_budgets,
+            "probe budgets diverged from sequential replay at {workers} workers"
+        );
+    }
+}
+
 #[test]
 fn result_cache_spends_zero_extra_probes_on_repeats() {
     let fx = fixture();
