@@ -18,6 +18,10 @@ use std::sync::OnceLock;
 fn flag() -> &'static AtomicBool {
     static FLAG: OnceLock<AtomicBool> = OnceLock::new();
     FLAG.get_or_init(|| {
+        // The fan-out switch cannot change results: the pool's determinism
+        // contract (pinned by the twin-replay tests) makes every result
+        // bit-identical across thread counts, including 1.
+        // mp-lint: allow(L13): on/off switch only; results are thread-count-invariant
         let on = match std::env::var("MP_PAR") {
             Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
             Err(_) => true,

@@ -76,13 +76,16 @@ thread_local! {
 /// ever putting a shared lock on the probe path itself. Disabled (the
 /// default), the log is a single atomic-load check — serving-path
 /// probes take no lock and make no allocation.
+/// One probe-log shard: `(global sequence, query terms)` records.
+// mp-lint: allow(L9): thread-local-keyed shards, touched only when logging is opted in
+type LogShard = Mutex<Vec<(u64, Vec<TermId>)>>;
+
 struct ProbeLog {
     enabled: bool,
     /// Global probe ordering across shards (assigned before the shard
     /// append, so `drain_ordered` can restore chronology).
     seq: AtomicU64,
-    // mp-lint: allow(L9): thread-local-keyed shards, touched only when logging is opted in
-    shards: Vec<Mutex<Vec<(u64, Vec<TermId>)>>>,
+    shards: Vec<LogShard>,
 }
 
 impl ProbeLog {

@@ -88,6 +88,7 @@ impl ContentSummary {
             .expect("sample sizes are bounded by queries issued, far below u32::MAX");
         // Raw dfs over the sample.
         let mut df: HashMap<TermId, u32> = HashMap::new();
+        // mp-lint: allow(L10): u32 increments commute — visit order cannot change a df count
         for doc in sampled.values() {
             for (term, _) in doc.terms() {
                 *df.entry(term).or_insert(0) += 1;
@@ -107,6 +108,7 @@ impl ContentSummary {
         });
         if sample_size > 0 && size > sample_size {
             let scale = f64::from(size) / f64::from(sample_size);
+            // mp-lint: allow(L10): element-wise scaling rewrites each entry independently
             for v in df.values_mut() {
                 let scaled = (f64::from(*v) * scale).max(1.0);
                 // A scaled df cannot exceed the database size; saturate
@@ -114,6 +116,7 @@ impl ContentSummary {
                 *v = mp_stats::float::round_u32(scaled).unwrap_or(u32::MAX);
             }
         }
+        // mp-lint: allow(L10): element-wise clamp, order-free like the scaling above
         for v in df.values_mut() {
             *v = (*v).min(size);
         }
@@ -136,8 +139,10 @@ impl ContentSummary {
         self.df.len()
     }
 
-    /// Iterates `(term, df)` pairs (arbitrary order).
+    /// Iterates `(term, df)` pairs (arbitrary order — callers needing a
+    /// stable order must sort; the doc comment is the contract).
     pub fn iter(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        // mp-lint: allow(L10): arbitrary order is this accessor's documented contract
         self.df.iter().map(|(&t, &d)| (t, d))
     }
 }

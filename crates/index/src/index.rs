@@ -525,6 +525,9 @@ impl InvertedIndex {
             return Vec::new();
         }
         let mut topk = TopK::new(k);
+        // Each score comes from its own dot product (no cross-doc
+        // accumulation), and TopK's (score, doc) order is total.
+        // mp-lint: allow(L10): per-doc scores + total TopK order — visit order cannot matter
         for (doc, dot) in acc {
             let dnorm = self.doc_norms[doc.index()];
             if dnorm > 0.0 {

@@ -5,6 +5,45 @@
 use crate::diagnostics::{Diagnostic, Level};
 use crate::lexer::{lex, TokKind, Token};
 use crate::rules::rule_by_name;
+use crate::syntax::FileSyntax;
+
+/// Crates whose `src/` is held to the library-crate rules (L3
+/// no-unwrap, L8 no-println, L10 no-hash-order-iteration). The single
+/// source of truth — `walk::classify` and the rules all read this
+/// list. The binary-facing crates (`cli`, `bench`) are not on it:
+/// `expect` on malformed CLI arguments and printing to stdout *are*
+/// their job.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "stats", "text", "index", "corpus", "hidden", "workload", "core", "eval", "lint", "obs",
+    "serve",
+];
+
+/// Crates under the deterministic-output contract: every public result
+/// must be a pure function of (inputs, seed), bit-identical across
+/// thread counts and runs — the property the equivalence harness and
+/// the twin-replay tests pin. L13 bans ambient nondeterminism sources
+/// (`Instant::now`, `SystemTime`, `thread::current().id()`,
+/// `std::env::var`, `RandomState`) in their `src/` outside test code.
+/// `obs` is deliberately absent: timing is its whole point, and it is
+/// feature-gated off the deterministic result path.
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "hidden", "index", "stats"];
+
+/// Modules registered as counter-only atomic users, where
+/// `Ordering::Relaxed` is sound by construction: every atomic in them
+/// is an independent monotonic counter / gauge / flag whose value is
+/// never used to publish other memory. Everywhere else L11 requires
+/// acquire/release pairs with a written invariant. Grown deliberately:
+/// registering a module here is the review point.
+pub const RELAXED_COUNTER_MODULES: &[&str] = &[
+    "crates/core/src/par.rs",
+    "crates/hidden/src/db.rs",
+    "crates/hidden/src/unreliable.rs",
+    "crates/obs/src/lib.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/stripe.rs",
+    "crates/serve/src/stats.rs",
+];
 
 /// How a file is classified by the workspace walker; drives which rules
 /// apply (see LINT.md "Scope").
@@ -25,6 +64,16 @@ pub struct FileClass {
     /// probe layers): L9 applies — every shared-lock primitive must
     /// carry an `allow(L9)` audit note or be removed.
     pub l9_hot_path: bool,
+    /// File belongs to a library crate ([`LIBRARY_CRATES`]): L10
+    /// (hash-order iteration) applies.
+    pub l10_library: bool,
+    /// File is a registered counter-only atomics module
+    /// ([`RELAXED_COUNTER_MODULES`]): `Ordering::Relaxed` is permitted.
+    pub l11_relaxed_ok: bool,
+    /// File belongs to a deterministic-contract crate
+    /// ([`DETERMINISTIC_CRATES`]): L13 (ambient nondeterminism sources)
+    /// applies.
+    pub l13_deterministic: bool,
 }
 
 /// A parsed `// mp-lint: allow(rule, …): justification` comment. The
@@ -36,6 +85,11 @@ pub struct Suppression {
     pub rules: Vec<&'static str>,
     /// Line the comment starts on.
     pub line: u32,
+    /// Column the comment starts at (for A1 stale-suppression
+    /// diagnostics, which point at the comment itself).
+    pub col: u32,
+    /// The comment text, trimmed (used as the A1 snippet).
+    pub text: String,
 }
 
 /// Everything the rules need to know about one file.
@@ -58,6 +112,13 @@ pub struct Analysis {
     pub class: FileClass,
     /// Display path used in diagnostics.
     pub path: String,
+    /// The syntax-lite structural layer (fn items, use spans,
+    /// hash-typed binding names).
+    pub syntax: FileSyntax,
+    /// The crate this file belongs to (`crates/<name>/…` → `name`, the
+    /// umbrella `src/` → `metaprobe`, anything else → `local`). Scopes
+    /// the workspace call/lock graphs, which are intra-crate.
+    pub crate_name: String,
 }
 
 impl Analysis {
@@ -74,6 +135,7 @@ impl Analysis {
         let impl_ty = impl_types(&code);
         let mut meta_diags = Vec::new();
         let suppressions = parse_suppressions(path, &comments, &mut meta_diags);
+        let syntax = FileSyntax::build(&code, &impl_ty);
         Self {
             code,
             is_test,
@@ -83,6 +145,8 @@ impl Analysis {
             meta_diags,
             class,
             path: path.to_string(),
+            syntax,
+            crate_name: crate_of(path),
         }
     }
 
@@ -92,6 +156,16 @@ impl Analysis {
         self.suppressions
             .iter()
             .any(|s| s.rules.contains(&rule) && (s.line == line || s.line + 1 == line))
+    }
+}
+
+/// Maps a workspace-relative display path to the crate it belongs to.
+fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("local").to_string(),
+        Some("src" | "tests" | "examples" | "benches") => "metaprobe".to_string(),
+        _ => "local".to_string(),
     }
 }
 
@@ -311,6 +385,8 @@ fn parse_suppressions(
             out.push(Suppression {
                 rules,
                 line: c.line,
+                col: c.col,
+                text: c.text.trim().to_string(),
             });
         }
     }

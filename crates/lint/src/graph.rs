@@ -1,0 +1,651 @@
+//! Workspace graphs: an intra-crate call graph and a lock-acquisition
+//! graph, feeding rule L12 (lock-order cycles → potential deadlock).
+//!
+//! ## How the lock graph is built
+//!
+//! For every non-test `fn` body the scanner tracks which lock guards
+//! are *live* — a guard is born at a `.lock()` / `.read()` /
+//! `.write()` (and `try_` variants) call, named if the statement is a
+//! `let` binding (it then lives to the end of its enclosing brace
+//! block or an explicit `drop(guard)`), anonymous otherwise (it lives
+//! to the end of the statement). Reaching another lock acquisition —
+//! or a `Condvar::wait(guard)` — while a guard is live adds a directed
+//! edge `held lock → acquired lock`. Acquisitions are also propagated
+//! **one call level** through the call graph: calling a crate-local
+//! function while holding a guard adds edges from the held lock to
+//! every lock that callee acquires directly.
+//!
+//! ## Lock identity
+//!
+//! Locks are named structurally, not by type: `self.state` inside
+//! `impl BoundedQueue` is `serve::BoundedQueue::state`; a bare `self`
+//! receiver (a lock-wrapper method like `BoundedQueue::lock`) is
+//! `serve::BoundedQueue`; an accessor call like `self.shard(&key)` is
+//! `serve::shard()` (keyed by accessor name, merging aliases — for
+//! deadlock detection merging errs toward *finding* cycles); a
+//! SCREAMING_CASE receiver is a crate-level static. Two names for the
+//! same mutex can split an edge (a missed cycle, never a false one).
+//! Call resolution is name-based within one crate — an
+//! over-approximation — so *propagated* self-edges are discarded:
+//! only a directly observed `A → A` re-entry counts as one.
+//!
+//! A cycle in the resulting graph means two code paths can acquire the
+//! same locks in opposite orders — the class of bug `queue_stress.rs`
+//! can only catch probabilistically, reported at build time instead.
+
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::rules::{level_of, snippet_around};
+use crate::syntax::{matching_backward, receiver_start, stmt_start, FnDecl};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Methods whose call on a receiver acquires a lock and yields a guard.
+const ACQUIRE_METHODS: &[&str] = &["lock", "try_lock", "read", "try_read", "write", "try_write"];
+
+/// Condvar wait methods: they take the guard as their first argument
+/// (which distinguishes them from this workspace's argument-less
+/// `wait()` rendezvous helpers) and re-acquire the associated mutex.
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while"];
+
+/// Names that look like `name(` but are never crate-local calls.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "move", "in", "as", "else", "let",
+    "mut", "ref", "Some", "Ok", "Err", "None", "drop",
+];
+
+/// Keywords that, directly before `name(`, make it a declaration or
+/// pattern rather than a call.
+const DECL_BEFORE: &[&str] = &[
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "type",
+    "macro_rules",
+];
+
+/// One direct lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+struct Acq {
+    lock: String,
+}
+
+/// A call site observed while at least one guard was live.
+#[derive(Debug, Clone)]
+struct CallSite {
+    target: CallTarget,
+    live: Vec<String>,
+    file: usize,
+    tok: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CallTarget {
+    /// `name(…)` — a crate-local free function.
+    Free(String),
+    /// `self.name(…)` or `Type::name(…)` — a method of `type` in the
+    /// same crate.
+    Method(String, String),
+}
+
+/// Everything the graph layer extracted from one function.
+#[derive(Debug, Clone)]
+struct FnInfo {
+    krate: String,
+    name: String,
+    impl_ty: Option<String>,
+    key: String,
+    /// Locks this fn acquires directly (guard-yielding calls only).
+    acquisitions: Vec<Acq>,
+    /// Directly observed `held → acquired` edges: (from, to, file, tok).
+    edges: Vec<(String, String, usize, usize)>,
+    /// Resolvable call sites reached while holding at least one guard.
+    calls: Vec<CallSite>,
+}
+
+/// Where a lock-graph edge was observed (for diagnostics).
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    path: String,
+    line: u32,
+    col: u32,
+    snippet: String,
+}
+
+/// The derived workspace graphs plus the L12 findings they imply.
+#[derive(Debug, Default)]
+pub struct WorkspaceGraph {
+    /// Intra-crate call graph: caller fn key → callee fn keys
+    /// (`crate::Type::name` / `crate::name`), name-resolved — a
+    /// conservative over-approximation.
+    pub calls: BTreeMap<String, BTreeSet<String>>,
+    /// Lock-acquisition graph: `held → acquired` lock-identity edges.
+    pub lock_edges: BTreeMap<String, BTreeSet<String>>,
+    sites: BTreeMap<(String, String), EdgeSite>,
+    cycle_diags: Vec<Diagnostic>,
+}
+
+impl WorkspaceGraph {
+    /// Builds the call and lock graphs over a set of analyzed files
+    /// (one crate or many — resolution never crosses crate boundaries)
+    /// and runs cycle detection.
+    pub fn build(analyses: &[Analysis]) -> Self {
+        let mut fns: Vec<FnInfo> = Vec::new();
+        for (fi, a) in analyses.iter().enumerate() {
+            for f in &a.syntax.fns {
+                if f.body.is_none() || a.is_test[f.fn_idx] {
+                    continue;
+                }
+                fns.push(scan_fn(a, f, fi));
+            }
+        }
+        let mut g = WorkspaceGraph::default();
+        for f in &fns {
+            for (from, to, file, tok) in &f.edges {
+                g.add_edge(analyses, from, to, *file, *tok);
+            }
+            for c in &f.calls {
+                for ci in resolve(&fns, &f.krate, &c.target) {
+                    g.calls
+                        .entry(f.key.clone())
+                        .or_default()
+                        .insert(fns[ci].key.clone());
+                    // One-level propagation: every lock the callee
+                    // acquires directly is reachable while `c.live`
+                    // guards are held.
+                    for acq in &fns[ci].acquisitions {
+                        for held in &c.live {
+                            // Name-resolution over-approximates: a
+                            // propagated self-edge is far more likely an
+                            // alias of the held lock than a true
+                            // re-entry, so only direct re-entries count.
+                            if held != &acq.lock {
+                                g.add_edge(analyses, held, &acq.lock, c.file, c.tok);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        g.cycle_diags = g.find_cycles();
+        g
+    }
+
+    /// The L12 diagnostics whose anchor site lies in `path`.
+    pub fn diags_for(&self, path: &str) -> Vec<Diagnostic> {
+        self.cycle_diags
+            .iter()
+            .filter(|d| d.path == path)
+            .cloned()
+            .collect()
+    }
+
+    fn add_edge(&mut self, analyses: &[Analysis], from: &str, to: &str, file: usize, tok: usize) {
+        self.lock_edges
+            .entry(from.to_string())
+            .or_default()
+            .insert(to.to_string());
+        let a = &analyses[file];
+        let t = &a.code[tok];
+        self.sites
+            .entry((from.to_string(), to.to_string()))
+            .or_insert_with(|| EdgeSite {
+                path: a.path.clone(),
+                line: t.line,
+                col: t.col,
+                snippet: snippet_around(a, tok),
+            });
+    }
+
+    /// One diagnostic per distinct cycle class (identified by its
+    /// lexicographically smallest lock), anchored at the cycle's first
+    /// edge site, naming the full lock chain.
+    fn find_cycles(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for start in self.lock_edges.keys() {
+            let Some(chain) = self.shortest_cycle(start) else {
+                continue;
+            };
+            // Dedup: report each cycle only from its smallest member.
+            if chain[..chain.len() - 1].iter().min() != Some(start) {
+                continue;
+            }
+            let site = &self.sites[&(chain[0].clone(), chain[1].clone())];
+            out.push(Diagnostic {
+                rule: "L12",
+                level: level_of("L12"),
+                path: site.path.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!("potential deadlock: lock-order cycle {}", chain.join(" → ")),
+                snippet: site.snippet.clone(),
+                hint: "acquire these locks in one global order everywhere, or drop the \
+                       held guard before taking the next lock (see DESIGN.md §8)"
+                    .to_string(),
+            });
+        }
+        out
+    }
+
+    /// BFS: shortest chain `start → … → start`, if any.
+    fn shortest_cycle(&self, start: &str) -> Option<Vec<String>> {
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        for next in self.lock_edges.get(start)? {
+            if next == start {
+                return Some(vec![start.to_string(), start.to_string()]);
+            }
+            if !parent.contains_key(next.as_str()) {
+                parent.insert(next, start);
+                queue.push_back(next);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let Some(succs) = self.lock_edges.get(u) else {
+                continue;
+            };
+            for v in succs {
+                if v == start {
+                    let mut rev = vec![u];
+                    let mut c = u;
+                    while let Some(&p) = parent.get(c) {
+                        if p == start {
+                            break;
+                        }
+                        rev.push(p);
+                        c = p;
+                    }
+                    let mut chain = vec![start.to_string()];
+                    chain.extend(rev.into_iter().rev().map(str::to_string));
+                    chain.push(start.to_string());
+                    return Some(chain);
+                }
+                if !parent.contains_key(v.as_str()) {
+                    parent.insert(v, u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Indices of the `FnInfo`s a call target resolves to within `krate`.
+fn resolve(fns: &[FnInfo], krate: &str, target: &CallTarget) -> Vec<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            f.krate == krate
+                && match target {
+                    CallTarget::Free(n) => f.impl_ty.is_none() && &f.name == n,
+                    CallTarget::Method(ty, n) => f.impl_ty.as_deref() == Some(ty) && &f.name == n,
+                }
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Scans one function body: direct acquisitions, guard liveness, the
+/// edges observed directly, and call sites with their live-lock sets.
+fn scan_fn(a: &Analysis, f: &FnDecl, file: usize) -> FnInfo {
+    let code = &a.code;
+    let krate = &a.crate_name;
+    let key = match &f.impl_ty {
+        Some(ty) => format!("{krate}::{ty}::{}", f.name),
+        None => format!("{krate}::{}", f.name),
+    };
+    let mut info = FnInfo {
+        krate: krate.clone(),
+        name: f.name.clone(),
+        impl_ty: f.impl_ty.clone(),
+        key,
+        acquisitions: Vec::new(),
+        edges: Vec::new(),
+        calls: Vec::new(),
+    };
+    let Some((open, close)) = f.body else {
+        return info;
+    };
+    // (name, lock id, brace depth at binding) — dies when its block
+    // closes or `drop(name)` runs.
+    let mut guards: Vec<(Option<String>, String, i32)> = Vec::new();
+    // Anonymous guards: live to the end of the current statement.
+    let mut stmt_temps: Vec<String> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i <= close.min(code.len() - 1) {
+        let t = &code[i];
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                stmt_temps.clear();
+            }
+            "}" => {
+                depth -= 1;
+                guards.retain(|g| g.2 <= depth);
+                stmt_temps.clear();
+            }
+            ";" => stmt_temps.clear(),
+            "drop"
+                if t.kind == TokKind::Ident
+                    && code.get(i + 1).is_some_and(|n| n.text == "(")
+                    && code.get(i + 3).is_some_and(|n| n.text == ")") =>
+            {
+                if let Some(victim) = code.get(i + 2) {
+                    guards.retain(|g| g.0.as_deref() != Some(victim.text.as_str()));
+                }
+            }
+            "." => {
+                if let Some((lock, binds)) = acquisition_at(a, f, i) {
+                    for held in live_locks(&guards, &stmt_temps) {
+                        if held != lock {
+                            info.edges.push((held, lock.clone(), file, i + 1));
+                        }
+                    }
+                    if binds {
+                        info.acquisitions.push(Acq { lock: lock.clone() });
+                        match binding_name(code, i) {
+                            Some(name) => guards.push((Some(name), lock, depth)),
+                            None => stmt_temps.push(lock),
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Call-site detection (independent of the match above: an
+        // acquisition method that is *also* a crate-local wrapper like
+        // `BoundedQueue::lock` is seen by both layers).
+        if t.kind == TokKind::Ident
+            && code.get(i + 1).is_some_and(|n| n.text == "(")
+            && !NOT_CALLS.contains(&t.text.as_str())
+        {
+            if let Some(target) = call_target(code, i, f) {
+                let live = live_locks(&guards, &stmt_temps);
+                if !live.is_empty() {
+                    info.calls.push(CallSite {
+                        target,
+                        live,
+                        file,
+                        tok: i,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    info
+}
+
+fn live_locks(guards: &[(Option<String>, String, i32)], stmt_temps: &[String]) -> Vec<String> {
+    let mut out: Vec<String> = guards.iter().map(|g| g.1.clone()).collect();
+    out.extend(stmt_temps.iter().cloned());
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// If the `.` at `dot` starts a lock-acquisition or condvar-wait call,
+/// returns the acquired lock's identity and whether the call yields a
+/// guard (waits re-acquire but hand the same guard back — no new
+/// binding).
+fn acquisition_at(a: &Analysis, f: &FnDecl, dot: usize) -> Option<(String, bool)> {
+    let code = &a.code;
+    let m = code.get(dot + 1)?;
+    if m.kind != TokKind::Ident || code.get(dot + 2)?.text != "(" {
+        return None;
+    }
+    let name = m.text.as_str();
+    if ACQUIRE_METHODS.contains(&name) {
+        Some((lock_identity(a, f, dot), true))
+    } else if WAIT_METHODS.contains(&name) && code.get(dot + 3)?.text != ")" {
+        // `.wait(guard)` — the argument distinguishes a real condvar
+        // wait from argument-less rendezvous helpers named `wait`.
+        Some((lock_identity(a, f, dot), false))
+    } else {
+        None
+    }
+}
+
+/// Structural identity of the lock acquired by the call at `dot` (see
+/// module docs for the naming scheme).
+fn lock_identity(a: &Analysis, f: &FnDecl, dot: usize) -> String {
+    let code = &a.code;
+    let krate = &a.crate_name;
+    let scope = f.impl_ty.clone().unwrap_or_else(|| f.name.clone());
+    let rstart = receiver_start(code, dot);
+    let recv = &code[rstart..dot];
+    if recv.is_empty() {
+        return format!("{krate}::{scope}::<expr>");
+    }
+    if recv.len() == 1 && recv[0].text == "self" {
+        return format!("{krate}::{scope}");
+    }
+    if recv.last().is_some_and(|t| t.text == ")") {
+        // Accessor call: keyed by accessor name (merges aliases).
+        let callee = matching_backward(code, dot - 1, "(", ")")
+            .filter(|&o| o > rstart)
+            .and_then(|o| code.get(o - 1))
+            .filter(|t| t.kind == TokKind::Ident)
+            .map_or("<call>", |t| t.text.as_str());
+        return format!("{krate}::{callee}()");
+    }
+    let Some(last) = recv.iter().rev().find(|t| t.kind == TokKind::Ident) else {
+        return format!("{krate}::{scope}::<expr>");
+    };
+    if recv[0].text != "self" && is_screaming(&last.text) {
+        return format!("{krate}::{}", last.text);
+    }
+    format!("{krate}::{scope}::{}", last.text)
+}
+
+fn is_screaming(s: &str) -> bool {
+    s.chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && s.chars().any(|c| c.is_ascii_uppercase())
+}
+
+/// If the statement holding the acquisition at `dot` is a `let`
+/// binding, the bound guard's name (handles `let mut g`,
+/// `if let Ok(mut g)`, `let Some(g)`).
+fn binding_name(code: &[Token], dot: usize) -> Option<String> {
+    let rstart = receiver_start(code, dot);
+    let mut j = stmt_start(code, rstart);
+    while code
+        .get(j)
+        .is_some_and(|t| matches!(t.text.as_str(), "if" | "while" | "else"))
+    {
+        j += 1;
+    }
+    if code.get(j)?.text != "let" {
+        return None;
+    }
+    j += 1;
+    if code.get(j)?.text == "mut" {
+        j += 1;
+    }
+    let t = code.get(j)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    if matches!(t.text.as_str(), "Ok" | "Some") && code.get(j + 1).is_some_and(|n| n.text == "(") {
+        let mut k = j + 2;
+        if code.get(k).is_some_and(|n| n.text == "mut") {
+            k += 1;
+        }
+        let inner = code.get(k)?;
+        if inner.kind == TokKind::Ident {
+            return Some(inner.text.clone());
+        }
+        return None;
+    }
+    Some(t.text.clone())
+}
+
+/// Classifies the call at ident `i` (followed by `(`) into a resolvable
+/// target: `self.name(…)`, `Type::name(…)`, or a bare free-fn call.
+/// Method calls on arbitrary expressions return `None` — the receiver
+/// type is unknowable at this layer, and an unresolved call adds no
+/// edges (an under-approximation: the right direction for a deny rule).
+fn call_target(code: &[Token], i: usize, f: &FnDecl) -> Option<CallTarget> {
+    if i == 0 {
+        return Some(CallTarget::Free(code[i].text.clone()));
+    }
+    let prev = &code[i - 1];
+    match prev.text.as_str() {
+        "." => {
+            // Only a *direct* `self.name(` — deeper chains like
+            // `self.field.name(` have an unknown receiver type.
+            if i >= 2 && code[i - 2].text == "self" && (i < 3 || code[i - 3].text != ".") {
+                return f
+                    .impl_ty
+                    .clone()
+                    .map(|ty| CallTarget::Method(ty, code[i].text.clone()));
+            }
+            None
+        }
+        "::" => {
+            let ty = code.get(i.checked_sub(2)?)?;
+            if ty.kind != TokKind::Ident {
+                return None;
+            }
+            let ty_name = if ty.text == "Self" {
+                f.impl_ty.clone()?
+            } else if ty
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            {
+                ty.text.clone()
+            } else {
+                // `module::name(` — the module is usually another crate.
+                return None;
+            };
+            Some(CallTarget::Method(ty_name, code[i].text.clone()))
+        }
+        t if DECL_BEFORE.contains(&t) => None,
+        _ => Some(CallTarget::Free(code[i].text.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Analysis, FileClass};
+
+    fn graph(src: &str) -> WorkspaceGraph {
+        let a = Analysis::build("crates/demo/src/lib.rs", src, FileClass::default());
+        WorkspaceGraph::build(std::slice::from_ref(&a))
+    }
+
+    #[test]
+    fn direct_nested_acquisition_makes_an_edge() {
+        let g = graph(
+            "impl Pair { fn both(&self) {\n\
+               let a = self.left.lock().expect(\"x\");\n\
+               let b = self.right.lock().expect(\"x\");\n\
+             } }",
+        );
+        let succs = g
+            .lock_edges
+            .get("demo::Pair::left")
+            .expect("edge from left");
+        assert!(succs.contains("demo::Pair::right"));
+        assert!(g.cycle_diags.is_empty(), "one order, no cycle");
+    }
+
+    #[test]
+    fn dropped_and_block_scoped_guards_make_no_edges() {
+        let g = graph(
+            "impl Pair { fn a(&self) {\n\
+               let g = self.left.lock().expect(\"x\");\n\
+               drop(g);\n\
+               let h = self.right.lock().expect(\"x\");\n\
+             }\n\
+             fn b(&self) {\n\
+               { let g = self.right.lock().expect(\"x\"); }\n\
+               let h = self.left.lock().expect(\"x\");\n\
+             } }",
+        );
+        assert!(g.lock_edges.is_empty(), "edges: {:?}", g.lock_edges);
+    }
+
+    #[test]
+    fn two_fn_cycle_via_call_propagation_is_found_with_chain() {
+        let g = graph(
+            "impl Pair {\n\
+               fn ab(&self) {\n\
+                 let a = self.left.lock().expect(\"x\");\n\
+                 let b = self.right.lock().expect(\"x\");\n\
+               }\n\
+               fn ba(&self) {\n\
+                 let b = self.right.lock().expect(\"x\");\n\
+                 self.grab_left();\n\
+               }\n\
+               fn grab_left(&self) { let g = self.left.lock().expect(\"x\"); }\n\
+             }",
+        );
+        assert_eq!(g.cycle_diags.len(), 1, "{:?}", g.cycle_diags);
+        let msg = &g.cycle_diags[0].message;
+        assert!(
+            msg.contains("demo::Pair::left → demo::Pair::right → demo::Pair::left"),
+            "full chain named: {msg}"
+        );
+    }
+
+    #[test]
+    fn condvar_wait_edges_do_not_cycle() {
+        let g = graph(
+            "impl Q { fn pop(&self) {\n\
+               let mut st = self.state.lock().expect(\"x\");\n\
+               loop { st = self.not_empty.wait(st).expect(\"x\"); }\n\
+             } }",
+        );
+        let succs = g.lock_edges.get("demo::Q::state").expect("state edge");
+        assert!(succs.contains("demo::Q::not_empty"));
+        assert!(g.cycle_diags.is_empty());
+    }
+
+    #[test]
+    fn test_code_and_rendezvous_waits_are_ignored() {
+        let g = graph(
+            "#[cfg(test)] mod t { fn f(p: &Pair) {\n\
+               let a = p.left.lock().unwrap(); let b = p.right.lock().unwrap(); } }\n\
+             impl Flight { fn join(&self) { self.flight.wait() } }",
+        );
+        assert!(g.lock_edges.is_empty());
+    }
+
+    #[test]
+    fn call_graph_resolves_self_methods_and_free_fns() {
+        let g = graph(
+            "fn helper() { let g = LOCK_A.lock().expect(\"x\"); }\n\
+             impl S { fn outer(&self) {\n\
+               let g = self.m.lock().expect(\"x\");\n\
+               helper();\n\
+             } }",
+        );
+        assert!(g
+            .calls
+            .get("demo::S::outer")
+            .is_some_and(|c| c.contains("demo::helper")));
+        let succs = g.lock_edges.get("demo::S::m").expect("propagated edge");
+        assert!(succs.contains("demo::LOCK_A"));
+    }
+
+    #[test]
+    fn explicit_drop_before_call_prevents_propagated_edges() {
+        let g = graph(
+            "fn helper() { let g = LOCK_A.lock().expect(\"x\"); }\n\
+             impl S { fn outer(&self) {\n\
+               let g = self.m.lock().expect(\"x\");\n\
+               drop(g);\n\
+               helper();\n\
+             } }",
+        );
+        assert!(g.lock_edges.is_empty(), "edges: {:?}", g.lock_edges);
+    }
+}

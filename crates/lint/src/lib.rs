@@ -25,8 +25,10 @@
 
 pub mod context;
 pub mod diagnostics;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 pub mod walk;
 
 pub use context::FileClass;
@@ -45,14 +47,24 @@ pub fn lint_source(path: &str, source: &str, class: FileClass) -> Vec<Diagnostic
 
 /// Lints every workspace file under `root` (see [`walk::discover`] for
 /// the scope).
+///
+/// Two passes: every file is analyzed first so the workspace call and
+/// lock graphs ([`graph::WorkspaceGraph`]) can be derived over all of
+/// them, then the per-file rules, the graph's L12 findings, and the
+/// suppression/meta layer are combined per file.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let files = walk::discover(root)?;
-    let mut report = Report::default();
+    let mut analyses = Vec::with_capacity(files.len());
     for f in &files {
         let source = std::fs::read_to_string(&f.path)?;
-        report
-            .diagnostics
-            .extend(lint_source(&f.rel, &source, f.class.clone()));
+        analyses.push(context::Analysis::build(&f.rel, &source, f.class.clone()));
+    }
+    let graph = graph::WorkspaceGraph::build(&analyses);
+    let mut report = Report::default();
+    for a in &analyses {
+        let mut raw = rules::per_file_rules(a);
+        raw.extend(graph.diags_for(&a.path));
+        report.diagnostics.extend(rules::finalize(a, raw));
     }
     report.files_scanned = files.len();
     Ok(report)

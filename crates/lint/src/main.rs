@@ -1,12 +1,15 @@
 //! The `mp-lint` CLI.
 //!
 //! ```text
-//! mp-lint [ROOT] [--json] [--deny-all] [--rule <id|name>]... [--list-rules]
+//! mp-lint [ROOT] [--json] [--deny-all] [--rule <id|name>]...
+//!         [--baseline <file>] [--list-rules]
 //! ```
 //!
-//! Exit codes: `0` clean (warnings allowed), `1` deny-level findings,
-//! `2` usage or I/O error. CI runs `mp-lint --deny-all --json`.
+//! Exit codes: `0` clean (warnings allowed), `1` deny-level findings or
+//! new-vs-baseline fingerprints, `2` usage or I/O error. CI runs
+//! `mp-lint --deny-all --json --baseline lint-baseline.json`.
 
+use mp_lint::diagnostics::baseline_fingerprints;
 use mp_lint::{lint_workspace, rule_by_name, RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,18 +19,22 @@ struct Args {
     json: bool,
     deny_all: bool,
     rules: Vec<&'static str>,
+    baseline: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: mp-lint [ROOT] [--json] [--deny-all] [--rule <id|name>]... [--list-rules]\n\
+    "usage: mp-lint [ROOT] [--json] [--deny-all] [--rule <id|name>]...\n\
+     \x20              [--baseline <file>] [--list-rules]\n\
      \n\
      Lints the metaprobe workspace at ROOT (default: the current\n\
-     directory) against the numeric/concurrency contract rules L1-L7.\n\
+     directory) against the numeric/concurrency contract rules L1-L13.\n\
      See LINT.md for the rule catalog.\n\
      \n\
-     --json         machine-readable output (stable shape)\n\
-     --deny-all     promote warnings (L7) to errors - the CI configuration\n\
+     --json         machine-readable output (stable shape, version 2)\n\
+     --deny-all     promote warnings (L7, A1) to errors - the CI configuration\n\
      --rule R       only report rule R (repeatable)\n\
+     --baseline F   fail (exit 1) listing any finding whose fingerprint\n\
+     \x20              is not in the JSON report F - CI's lint-diff gate\n\
      --list-rules   print the rule catalog and exit"
 }
 
@@ -37,6 +44,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         json: false,
         deny_all: false,
         rules: Vec::new(),
+        baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -48,9 +56,13 @@ fn parse_args() -> Result<Option<Args>, String> {
                 let info = rule_by_name(&name).ok_or(format!("unknown rule `{name}`"))?;
                 args.rules.push(info.id);
             }
+            "--baseline" => {
+                let f = it.next().ok_or("--baseline needs a file path")?;
+                args.baseline = Some(PathBuf::from(f));
+            }
             "--list-rules" => {
                 for r in RULES {
-                    println!("{:<3} {:<14} {}", r.id, r.name, r.summary);
+                    println!("{:<3} {:<18} {}", r.id, r.name, r.summary);
                 }
                 return Ok(None);
             }
@@ -99,7 +111,47 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.render_human());
     }
-    if report.denies() > 0 {
+    let mut failed = report.denies() > 0;
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => baseline_fingerprints(&text),
+            Err(e) => {
+                eprintln!(
+                    "mp-lint: cannot read baseline `{}`: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        let fps = report.fingerprints();
+        let mut fresh = 0usize;
+        for (d, fp) in report.diagnostics.iter().zip(&fps) {
+            if !baseline.contains(fp) {
+                fresh += 1;
+                eprintln!(
+                    "mp-lint: new finding vs baseline: {fp} {}:{}:{} {}[{}] {}",
+                    d.path,
+                    d.line,
+                    d.col,
+                    if matches!(d.level, mp_lint::Level::Deny) {
+                        "deny"
+                    } else {
+                        "warn"
+                    },
+                    d.rule,
+                    d.message
+                );
+            }
+        }
+        if fresh > 0 {
+            eprintln!(
+                "mp-lint: {fresh} finding(s) not in baseline `{}`",
+                baseline_path.display()
+            );
+            failed = true;
+        }
+    }
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -1,0 +1,315 @@
+//! L10 — iteration over hash-ordered collections in library code.
+//!
+//! The PR 4 incident, as a lint: `cosine_topk` accumulated scores by
+//! iterating a `HashMap`, so float rounding depended on `RandomState`'s
+//! per-process seed and the "same" query returned different tail ranks
+//! across runs. Every number this workspace serves is an estimate whose
+//! reproducibility the equivalence harness pins — iteration order that
+//! changes per process is exactly the nondeterminism that harness
+//! exists to catch, except it only catches it a run later.
+//!
+//! In library-crate code (`l10_library`, the shared [`crate::context::
+//! LIBRARY_CRATES`] list), iterating a binding the syntax layer typed
+//! as `HashMap`/`HashSet` — `for … in &map`, `.iter()`, `.keys()`,
+//! `.values()`, `.drain()`, `.into_iter()` — is flagged unless the
+//! statement visibly restores an order: it collects into a `BTreeMap`/
+//! `BTreeSet` (annotation or turbofish), or the very next statement
+//! sorts the binding it produced. Anything else needs an
+//! `// mp-lint: allow(L10): <why order cannot matter>` stating the
+//! commutativity argument.
+
+use super::diag_at;
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::syntax::{simple_receiver_name, stmt_end, stmt_start};
+
+/// Methods that yield the collection's elements in hash order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Sort calls that restore a total order on the collected result.
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+const HINT: &str = "hash iteration order differs per process (seeded RandomState): \
+                    collect into a BTreeMap/BTreeSet, sort the result before it \
+                    feeds floats or output, or justify with `// mp-lint: \
+                    allow(L10): <why order cannot matter>`";
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    if !a.class.l10_library || a.syntax.hash_names.is_empty() {
+        return Vec::new();
+    }
+    let code = &a.code;
+    let mut out = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if a.is_test[i] {
+            continue;
+        }
+        // `map.iter()` / `self.df.keys()` / `acc.drain()` …
+        if t.text == "."
+            && t.kind == TokKind::Punct
+            && code
+                .get(i + 1)
+                .is_some_and(|m| HASH_ITER_METHODS.contains(&m.text.as_str()))
+            && code.get(i + 2).is_some_and(|p| p.text == "(")
+        {
+            if let Some(name) = simple_receiver_name(code, i) {
+                if a.syntax.hash_names.contains(&name) && !order_restored(a, i) {
+                    out.push(diag_at(
+                        a,
+                        "L10",
+                        i + 1,
+                        format!("hash-order iteration: `{name}.{}()`", code[i + 1].text),
+                        HINT,
+                    ));
+                }
+            }
+        }
+        // `for … in [&][mut] map {` / `for … in &self.df {`.
+        if t.kind == TokKind::Ident && t.text == "for" {
+            if let Some(name_idx) = for_loop_hash_subject(a, i) {
+                if !order_restored(a, name_idx) {
+                    out.push(diag_at(
+                        a,
+                        "L10",
+                        name_idx,
+                        format!("hash-order iteration: `for … in {}`", code[name_idx].text),
+                        HINT,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// For a `for` keyword at `i`: if the loop subject is a simple
+/// (possibly `&`/`mut`-prefixed) path ending in a hash-typed name —
+/// with no method call that would already be handled by the `.iter()`
+/// arm — returns the index of that name token.
+fn for_loop_hash_subject(a: &Analysis, i: usize) -> Option<usize> {
+    let code = &a.code;
+    // Find the pattern's `in` at bracket depth 0.
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let in_idx = loop {
+        let t = code.get(j)?;
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && t.kind == TokKind::Ident => break j,
+            "{" | ";" => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    // Subject expression: `in` → body `{` at depth 0.
+    let mut k = in_idx + 1;
+    let mut expr: Vec<(usize, &Token)> = Vec::new();
+    let mut depth = 0i32;
+    loop {
+        let t = code.get(k)?;
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            _ => {}
+        }
+        expr.push((k, t));
+        k += 1;
+    }
+    // Strip reference/mutability prefixes, then require a pure
+    // `ident (. ident | :: ident)*` path.
+    let mut e = expr.as_slice();
+    while e
+        .first()
+        .is_some_and(|(_, t)| matches!(t.text.as_str(), "&" | "&&" | "mut"))
+    {
+        e = &e[1..];
+    }
+    if e.is_empty() {
+        return None;
+    }
+    for (pos, (_, t)) in e.iter().enumerate() {
+        let ok = if pos % 2 == 0 {
+            t.kind == TokKind::Ident
+        } else {
+            t.text == "." || t.text == "::"
+        };
+        if !ok {
+            return None;
+        }
+    }
+    let (last_idx, last) = *e.last()?;
+    if last.kind == TokKind::Ident && a.syntax.hash_names.contains(&last.text) {
+        Some(last_idx)
+    } else {
+        None
+    }
+}
+
+/// True when the statement containing `idx` visibly restores an order:
+/// it mentions `BTreeMap`/`BTreeSet` (a collect annotation or
+/// turbofish), or it is a `let` binding whose very next statement sorts
+/// the bound name.
+fn order_restored(a: &Analysis, idx: usize) -> bool {
+    let code = &a.code;
+    let sstart = stmt_start(code, idx);
+    let send = stmt_end(code, idx);
+    if code[sstart..=send.min(code.len() - 1)]
+        .iter()
+        .any(|t| t.text == "BTreeMap" || t.text == "BTreeSet")
+    {
+        return true;
+    }
+    // `let [mut] b = …collect(); b.sort…();`
+    let mut j = sstart;
+    if code.get(j).is_none_or(|t| t.text != "let") {
+        return false;
+    }
+    j += 1;
+    if code.get(j).is_some_and(|t| t.text == "mut") {
+        j += 1;
+    }
+    let Some(bound) = code.get(j).filter(|t| t.kind == TokKind::Ident) else {
+        return false;
+    };
+    let nstart = send + 1;
+    if nstart >= code.len() {
+        return false;
+    }
+    let nend = stmt_end(code, nstart);
+    code[nstart..=nend.min(code.len() - 1)].windows(3).any(|w| {
+        w[0].text == bound.text && w[1].text == "." && SORT_METHODS.contains(&w[2].text.as_str())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l10_count(src: &str, library: bool) -> usize {
+        let class = FileClass {
+            l10_library: library,
+            ..FileClass::default()
+        };
+        let a = Analysis::build("f.rs", src, class);
+        run_rules(&a).iter().filter(|d| d.rule == "L10").count()
+    }
+
+    const DECL: &str = "struct S { df: HashMap<u32, u32> }\n";
+
+    #[test]
+    fn flags_method_iteration_and_for_loops_over_hash_types() {
+        assert_eq!(
+            l10_count(
+                &format!("{DECL}fn f(s: &S) {{ for v in s.df.values() {{ use_it(v); }} }}"),
+                true
+            ),
+            1
+        );
+        assert_eq!(
+            l10_count(
+                &format!("{DECL}impl S {{ fn f(&self) {{ for kv in &self.df {{ go(kv); }} }} }}"),
+                true
+            ),
+            1
+        );
+        assert_eq!(
+            l10_count(
+                "fn f(acc: HashMap<u32, f64>) { for (d, x) in acc { push(d, x); } }",
+                true
+            ),
+            1
+        );
+        assert_eq!(
+            l10_count(
+                &format!("{DECL}fn f(s: &S) {{ let ks = s.df.keys().count(); }}"),
+                true
+            ),
+            1,
+            "keys() in hash order even when only counted — suppressible"
+        );
+    }
+
+    #[test]
+    fn btree_collect_and_sort_after_are_exempt() {
+        assert_eq!(
+            l10_count(
+                &format!("{DECL}fn f(s: &S) {{ let m: BTreeMap<u32, u32> = s.df.iter().map(c).collect(); }}"),
+                true
+            ),
+            0
+        );
+        assert_eq!(
+            l10_count(
+                &format!(
+                    "{DECL}fn f(s: &S) {{ let m = s.df.iter().collect::<BTreeMap<_, _>>(); }}"
+                ),
+                true
+            ),
+            0
+        );
+        assert_eq!(
+            l10_count(
+                &format!(
+                    "{DECL}fn f(s: &S) {{ let mut v: Vec<u32> = s.df.keys().copied().collect();\n\
+                     v.sort_unstable(); }}"
+                ),
+                true
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn non_hash_names_tests_and_non_library_files_are_exempt() {
+        assert_eq!(
+            l10_count("fn f(v: &Vec<u32>) { for x in v.iter() { go(x); } }", true),
+            0,
+            "not a hash-typed binding"
+        );
+        assert_eq!(
+            l10_count(
+                &format!("{DECL}fn f(s: &S) {{ for v in s.df.values() {{ go(v); }} }}"),
+                false
+            ),
+            0
+        );
+        assert_eq!(
+            l10_count(
+                &format!("{DECL}#[cfg(test)]\nmod t {{ fn f(s: &S) {{ for v in s.df.values() {{ go(v); }} }} }}"),
+                true
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = format!(
+            "{DECL}fn f(s: &S) {{\n\
+             // mp-lint: allow(L10): u32 counting is commutative, order-free\n\
+             for v in s.df.values() {{ total += v; }} }}"
+        );
+        assert_eq!(l10_count(&src, true), 0);
+    }
+}

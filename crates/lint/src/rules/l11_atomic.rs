@@ -1,0 +1,329 @@
+//! L11 — atomic-ordering discipline.
+//!
+//! The workspace uses atomics two ways, and each has a rule:
+//!
+//! * **Counter-only modules** (`StripedU64`, probe counters, RNG-draw
+//!   tallies — the registered [`crate::context::RELAXED_COUNTER_MODULES`]
+//!   list): every atomic is an independent counter/gauge whose value
+//!   never publishes other memory, so `Ordering::Relaxed` is sound by
+//!   construction. *Only* there: a Relaxed op anywhere else is flagged —
+//!   registering a module on the list is the review point.
+//! * **Publication protocols** (`Acquire`/`Release`/`AcqRel`/`SeqCst`):
+//!   these only mean something in pairs. A release-class store whose
+//!   field has no acquire-class load in the same module (or vice versa)
+//!   is a half-protocol — it compiles, and it orders nothing. Each
+//!   paired op must also carry a one-line comment stating the published
+//!   invariant (containing "pairs with" or "publishes"), so the next
+//!   editor knows what the fence protects.
+//!
+//! Ops whose receiver the syntax layer cannot name (a computed
+//! expression) are skipped — under-approximation keeps the deny gate
+//! trustworthy; `cmp::Ordering` variants never collide because only the
+//! five atomic orderings are matched.
+
+use super::diag_at;
+use crate::context::Analysis;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+use crate::syntax::{matching_backward, simple_receiver_name};
+
+/// Atomic ops that read (acquire side when non-Relaxed).
+const LOAD_OPS: &[&str] = &["load"];
+/// Atomic ops that write (release side when non-Relaxed).
+const STORE_OPS: &[&str] = &["store"];
+/// Read-modify-write ops: both sides at once under `AcqRel`/`SeqCst`,
+/// and they satisfy either side of a partner's pairing requirement.
+const RMW_OPS: &[&str] = &[
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+const RELAXED_HINT: &str = "Relaxed is reserved for the registered counter-only modules \
+                            (context::RELAXED_COUNTER_MODULES); use an acquire/release \
+                            pair, or register the module if every atomic in it is an \
+                            independent counter";
+
+const COMMENT_HINT: &str = "add a one-line invariant comment containing `pairs with` or \
+                            `publishes` on or just above the op, naming what the fence \
+                            protects";
+
+const PAIR_HINT: &str = "a one-sided fence orders nothing: add the matching \
+                         acquire-side load / release-side store on the same field in \
+                         this module, or downgrade to Relaxed if nothing is published";
+
+/// One atomic op site: (code index of the op ident, field, op, ordering).
+struct AtomicOp {
+    idx: usize,
+    field: Option<String>,
+    op: String,
+    ordering: &'static str,
+}
+
+pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
+    let ops = collect_ops(a);
+    let mut out = Vec::new();
+    for op in &ops {
+        if op.ordering == "Relaxed" {
+            if !a.class.l11_relaxed_ok {
+                out.push(diag_at(
+                    a,
+                    "L11",
+                    op.idx,
+                    format!(
+                        "`Ordering::Relaxed` outside a registered counter-only module \
+                         (`{}.{}`)",
+                        op.field.as_deref().unwrap_or("<expr>"),
+                        op.op
+                    ),
+                    RELAXED_HINT,
+                ));
+            }
+            continue;
+        }
+        // Non-Relaxed: published-invariant comment…
+        if !has_invariant_comment(a, a.code[op.idx].line) {
+            out.push(diag_at(
+                a,
+                "L11",
+                op.idx,
+                format!(
+                    "`Ordering::{}` without a published-invariant comment (`{}.{}`)",
+                    op.ordering,
+                    op.field.as_deref().unwrap_or("<expr>"),
+                    op.op
+                ),
+                COMMENT_HINT,
+            ));
+        }
+        // …and a same-field partner on the other side of the fence.
+        let Some(field) = &op.field else {
+            continue; // unnameable receiver: skip pairing (see module docs)
+        };
+        let side = op_side(&op.op);
+        let satisfied = match side {
+            Side::Rmw => true, // AcqRel/SeqCst RMW is both sides at once
+            Side::Load => ops.iter().any(|p| {
+                p.idx != op.idx
+                    && p.field.as_deref() == Some(field)
+                    && p.ordering != "Relaxed"
+                    && matches!(op_side(&p.op), Side::Store | Side::Rmw)
+            }),
+            Side::Store => ops.iter().any(|p| {
+                p.idx != op.idx
+                    && p.field.as_deref() == Some(field)
+                    && p.ordering != "Relaxed"
+                    && matches!(op_side(&p.op), Side::Load | Side::Rmw)
+            }),
+        };
+        if !satisfied {
+            let want = match side {
+                Side::Load => "release-side store/RMW",
+                _ => "acquire-side load/RMW",
+            };
+            out.push(diag_at(
+                a,
+                "L11",
+                op.idx,
+                format!(
+                    "`{field}.{}(…, Ordering::{})` has no {want} on `{field}` in this \
+                     module",
+                    op.op, op.ordering
+                ),
+                PAIR_HINT,
+            ));
+        }
+    }
+    out
+}
+
+enum Side {
+    Load,
+    Store,
+    Rmw,
+}
+
+fn op_side(op: &str) -> Side {
+    if LOAD_OPS.contains(&op) {
+        Side::Load
+    } else if STORE_OPS.contains(&op) {
+        Side::Store
+    } else {
+        Side::Rmw
+    }
+}
+
+/// Finds every `recv.op(…, Ordering::X)` site in non-test, non-`use`
+/// code (both fully-qualified `Ordering::X` and imported bare variants
+/// appear as `Ordering :: X` after the lexer — the `atomic::` prefix
+/// form too).
+fn collect_ops(a: &Analysis) -> Vec<AtomicOp> {
+    const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    let code = &a.code;
+    let mut out = Vec::new();
+    let mut seen_calls = std::collections::BTreeSet::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.text != "Ordering" || t.kind != TokKind::Ident {
+            continue;
+        }
+        if a.is_test[i] || a.syntax.use_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(ord) = code
+            .get(i + 1)
+            .filter(|n| n.text == "::")
+            .and_then(|_| code.get(i + 2))
+            .and_then(|v| ORDERINGS.iter().find(|o| **o == v.text))
+        else {
+            continue;
+        };
+        // The ordering is an argument: walk out to the call's `(`. Only
+        // the first ordering per call counts — `compare_exchange`'s
+        // trailing failure ordering (conventionally Relaxed) is not an
+        // independent fence.
+        let Some(open) = enclosing_open_paren(a, i) else {
+            continue;
+        };
+        if !seen_calls.insert(open) {
+            continue;
+        }
+        let (field, op) = match open.checked_sub(2) {
+            Some(dot)
+                if code[dot + 1].kind == TokKind::Ident
+                    && code[dot].text == "."
+                    && (LOAD_OPS.contains(&code[dot + 1].text.as_str())
+                        || STORE_OPS.contains(&code[dot + 1].text.as_str())
+                        || RMW_OPS.contains(&code[dot + 1].text.as_str())) =>
+            {
+                (simple_receiver_name(code, dot), code[dot + 1].text.clone())
+            }
+            _ => continue, // not an atomic method call (e.g. a fence())
+        };
+        out.push(AtomicOp {
+            idx: open - 1,
+            field,
+            op,
+            ordering: ord,
+        });
+    }
+    out
+}
+
+/// Index of the innermost unmatched `(` enclosing token `i`.
+fn enclosing_open_paren(a: &Analysis, i: usize) -> Option<usize> {
+    let code = &a.code;
+    let mut j = i;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        let t = &code[j];
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" => return Some(j),
+            ")" => j = matching_backward(code, j, "(", ")")?,
+            "{" | "}" | ";" => return None,
+            _ => {}
+        }
+    }
+}
+
+/// A comment containing `pairs with` / `publishes` on the op's line or
+/// up to two lines above it.
+fn has_invariant_comment(a: &Analysis, line: u32) -> bool {
+    a.comments.iter().any(|c| {
+        c.line + 2 >= line
+            && c.line <= line
+            && (c.text.contains("pairs with") || c.text.contains("publishes"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::{Analysis, FileClass};
+    use crate::rules::run_rules;
+
+    fn l11(src: &str, relaxed_ok: bool) -> Vec<String> {
+        let class = FileClass {
+            l11_relaxed_ok: relaxed_ok,
+            ..FileClass::default()
+        };
+        let a = Analysis::build("f.rs", src, class);
+        run_rules(&a)
+            .into_iter()
+            .filter(|d| d.rule == "L11")
+            .map(|d| d.message)
+            .collect()
+    }
+
+    #[test]
+    fn relaxed_is_only_allowed_in_registered_modules() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        assert_eq!(l11(src, true).len(), 0);
+        let found = l11(src, false);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("Relaxed"), "{found:?}");
+    }
+
+    #[test]
+    fn paired_and_commented_protocol_is_clean() {
+        let src = "\
+impl Gen {
+    fn bump(&self) {
+        // publishes the edge snapshot written before the bump; pairs with load in read()
+        self.gen.fetch_add(1, Ordering::Release);
+    }
+    fn read(&self) -> u64 {
+        // pairs with the Release bump in bump()
+        self.gen.load(Ordering::Acquire)
+    }
+}";
+        assert_eq!(l11(src, false), Vec::<String>::new());
+    }
+
+    #[test]
+    fn half_protocol_and_missing_comment_are_flagged() {
+        let unpaired =
+            "fn f(s: &S) {\n// pairs with nothing real\ns.flag.store(true, Ordering::Release); }";
+        let found = l11(unpaired, false);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains("no acquire-side"), "{found:?}");
+
+        let uncommented = "\
+impl S {
+    fn w(&self) { self.flag.store(true, Ordering::Release); }
+    fn r(&self) -> bool { self.flag.load(Ordering::Acquire) }
+}";
+        let found = l11(uncommented, false);
+        assert_eq!(found.len(), 2, "one per op: {found:?}");
+        assert!(found.iter().all(|m| m.contains("invariant comment")));
+    }
+
+    #[test]
+    fn rmw_acqrel_self_pairs_and_tests_are_exempt() {
+        let src = "// pairs with itself: AcqRel swap publishes and observes the slot\n\
+                   fn f(s: &S) { s.slot.swap(1, Ordering::AcqRel); }";
+        assert_eq!(l11(src, false), Vec::<String>::new());
+        let test_src =
+            "#[cfg(test)]\nmod t { fn f(c: &AtomicU64) { c.store(1, Ordering::SeqCst); } }";
+        assert_eq!(l11(test_src, false), Vec::<String>::new());
+    }
+
+    #[test]
+    fn cmp_ordering_variants_never_collide() {
+        let src = "fn f(a: u32, b: u32) -> Ordering { a.cmp(&b).then(Ordering::Less) }";
+        assert_eq!(l11(src, false), Vec::<String>::new());
+    }
+}

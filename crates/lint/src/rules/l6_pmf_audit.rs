@@ -19,11 +19,16 @@
 //!
 //! Accessors returning references (`-> &Discrete`, `-> &[Discrete]`)
 //! are exempt: they hand out an already-audited object.
+//!
+//! The fn-item structure (name, return-type span, body span) comes
+//! from the shared syntax-lite layer ([`crate::syntax::FileSyntax`]) —
+//! this rule is purely the *policy* over it.
 
-use super::{diag_at, matching_close_paren};
-use crate::context::{matching_brace, Analysis};
+use super::diag_at;
+use crate::context::Analysis;
 use crate::diagnostics::Diagnostic;
 use crate::lexer::TokKind;
+use crate::syntax::FnDecl;
 
 /// Types whose by-value constructors are audited.
 pub const DIST_TYPES: &[&str] = &[
@@ -38,112 +43,27 @@ const HINT: &str = "call .debug_assert_normalized() on the value before returnin
 
 pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < a.code.len() {
-        if a.code[i].kind != TokKind::Ident || a.code[i].text != "fn" || a.is_test[i] {
-            i += 1;
+    for f in &a.syntax.fns {
+        if a.is_test[f.fn_idx] {
             continue;
         }
-        let Some(parsed) = parse_fn(a, i) else {
-            i += 1;
-            continue;
-        };
-        if returns_distribution(a, i, &parsed) && !body_has_debug_assert(a, &parsed) {
+        if returns_distribution(a, f) && !body_has_debug_assert(a, f) {
             out.push(diag_at(
                 a,
                 "L6",
-                parsed.name_idx,
+                f.name_idx,
                 format!(
                     "`{}` returns a distribution but has no normalization debug_assert",
-                    a.code[parsed.name_idx].text
+                    f.name
                 ),
                 HINT,
             ));
         }
-        // Resume after the signature; nested fns inside the body still
-        // get visited because we only skip the header.
-        i = parsed.sig_end + 1;
     }
     out
 }
 
-struct ParsedFn {
-    name_idx: usize,
-    ret: (usize, usize), // return-type token range [start, end)
-    body: Option<(usize, usize)>,
-    sig_end: usize,
-}
-
-/// Parses `fn name <generics>? ( params ) (-> ret)? (where …)? { body }`.
-fn parse_fn(a: &Analysis, fn_idx: usize) -> Option<ParsedFn> {
-    let code = &a.code;
-    let name_idx = fn_idx + 1;
-    if code.get(name_idx)?.kind != TokKind::Ident {
-        return None; // `fn(usize) -> f64` type position
-    }
-    let mut j = name_idx + 1;
-    // Generics.
-    if code.get(j).is_some_and(|t| t.text == "<") {
-        let mut angle = 0i32;
-        while j < code.len() {
-            match code[j].text.as_str() {
-                "<" => angle += 1,
-                ">" => angle -= 1,
-                ">>" => angle -= 2,
-                _ => {}
-            }
-            j += 1;
-            if angle <= 0 {
-                break;
-            }
-        }
-    }
-    // Parameters.
-    if code.get(j).is_none_or(|t| t.text != "(") {
-        return None;
-    }
-    let params_close = matching_close_paren(code, j)?;
-    j = params_close + 1;
-    // Return type.
-    let mut ret = (j, j);
-    if code.get(j).is_some_and(|t| t.text == "->") {
-        let start = j + 1;
-        let mut k = start;
-        let mut angle = 0i32;
-        let mut paren = 0i32;
-        while k < code.len() {
-            match code[k].text.as_str() {
-                "<" => angle += 1,
-                ">" => angle -= 1,
-                ">>" => angle -= 2,
-                "(" => paren += 1,
-                ")" => paren -= 1,
-                "{" | ";" | "where" if angle <= 0 && paren <= 0 => break,
-                _ => {}
-            }
-            k += 1;
-        }
-        ret = (start, k);
-        j = k;
-    }
-    // Where clause.
-    while j < code.len() && code[j].text != "{" && code[j].text != ";" {
-        j += 1;
-    }
-    let body = if code.get(j).is_some_and(|t| t.text == "{") {
-        Some((j, matching_brace(code, j)))
-    } else {
-        None
-    };
-    Some(ParsedFn {
-        name_idx,
-        ret,
-        body,
-        sig_end: j,
-    })
-}
-
-fn returns_distribution(a: &Analysis, fn_idx: usize, f: &ParsedFn) -> bool {
+fn returns_distribution(a: &Analysis, f: &FnDecl) -> bool {
     let ret = &a.code[f.ret.0..f.ret.1];
     if ret.is_empty() {
         return false;
@@ -152,7 +72,7 @@ fn returns_distribution(a: &Analysis, fn_idx: usize, f: &ParsedFn) -> bool {
     if ret.iter().any(|t| t.text == "&") {
         return false;
     }
-    let impl_ty = a.impl_ty[fn_idx].as_deref();
+    let impl_ty = f.impl_ty.as_deref();
     ret.iter().any(|t| {
         t.kind == TokKind::Ident
             && (DIST_TYPES.contains(&t.text.as_str())
@@ -160,7 +80,7 @@ fn returns_distribution(a: &Analysis, fn_idx: usize, f: &ParsedFn) -> bool {
     })
 }
 
-fn body_has_debug_assert(a: &Analysis, f: &ParsedFn) -> bool {
+fn body_has_debug_assert(a: &Analysis, f: &FnDecl) -> bool {
     let Some((open, close)) = f.body else {
         return true; // trait signature without body: nothing to audit
     };

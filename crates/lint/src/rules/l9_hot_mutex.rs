@@ -35,16 +35,13 @@ pub(crate) fn check(a: &Analysis) -> Vec<Diagnostic> {
         return Vec::new();
     }
     let mut out = Vec::new();
-    // Import lines name the types without acquiring anything; track
-    // `use … ;` spans so they never fire.
-    let mut in_use = false;
     for (i, t) in a.code.iter().enumerate() {
-        if t.kind == TokKind::Ident && t.text == "use" {
-            in_use = true;
-        } else if in_use && t.text == ";" {
-            in_use = false;
-        }
-        if in_use || a.is_test[i] || t.kind != TokKind::Ident {
+        // Import lines name the types without acquiring anything; the
+        // syntax layer's `use`-declaration mask exempts them.
+        if a.syntax.use_mask.get(i).copied().unwrap_or(false)
+            || a.is_test[i]
+            || t.kind != TokKind::Ident
+        {
             continue;
         }
         if LOCK_TYPES.contains(&t.text.as_str()) {

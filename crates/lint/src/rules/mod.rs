@@ -6,6 +6,9 @@
 //! each rule's exact trigger conditions are documented in LINT.md so a
 //! reader can always answer "why did/didn't this fire?".
 
+mod l10_hash_order;
+mod l11_atomic;
+mod l13_nondet;
 mod l1_float_eq;
 mod l2_lossy_cast;
 mod l3_unwrap;
@@ -18,12 +21,13 @@ mod l9_hot_mutex;
 
 use crate::context::Analysis;
 use crate::diagnostics::{Diagnostic, Level};
+use crate::graph::WorkspaceGraph;
 use crate::lexer::{TokKind, Token};
 
 /// Static description of one rule.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
-    /// Canonical id (`L1` … `L9`, `A0`).
+    /// Canonical id (`L1` … `L13`, `A0`/`A1`).
     pub id: &'static str,
     /// Human name, also accepted in `allow(...)`.
     pub name: &'static str,
@@ -90,10 +94,40 @@ pub const RULES: &[RuleInfo] = &[
         default_level: Level::Deny,
     },
     RuleInfo {
+        id: "L10",
+        name: "hash-order",
+        summary: "iteration over a HashMap/HashSet in library code",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L11",
+        name: "atomic-ordering",
+        summary: "Relaxed outside counter modules / unpaired acquire-release",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L12",
+        name: "lock-order",
+        summary: "lock-acquisition cycle (potential deadlock)",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "L13",
+        name: "nondet-source",
+        summary: "ambient nondeterminism source in a deterministic crate",
+        default_level: Level::Deny,
+    },
+    RuleInfo {
         id: "A0",
         name: "suppression",
         summary: "malformed or unjustified mp-lint suppression comment",
         default_level: Level::Deny,
+    },
+    RuleInfo {
+        id: "A1",
+        name: "stale-suppression",
+        summary: "allow(…) comment matching no finding on its covered lines",
+        default_level: Level::Warn,
     },
 ];
 
@@ -104,7 +138,7 @@ pub fn rule_by_name(s: &str) -> Option<&'static RuleInfo> {
         .find(|r| r.id.eq_ignore_ascii_case(s) || r.name.eq_ignore_ascii_case(s))
 }
 
-fn level_of(id: &str) -> Level {
+pub(crate) fn level_of(id: &str) -> Level {
     RULES
         .iter()
         .find(|r| r.id == id)
@@ -112,10 +146,12 @@ fn level_of(id: &str) -> Level {
         .unwrap_or(Level::Deny)
 }
 
-/// Runs every rule on one analyzed file, applies suppression comments,
-/// and appends the context's own meta diagnostics (which are never
-/// suppressible — they complain about the suppressions themselves).
-pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
+/// Runs every per-file rule on one analyzed file, returning the *raw*
+/// (pre-suppression) findings. The workspace driver adds graph-derived
+/// findings (L12) before handing the combined list to [`finalize`] —
+/// A1 staleness must be judged against everything a suppression could
+/// legitimately cover.
+pub(crate) fn per_file_rules(a: &Analysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(l1_float_eq::check(a));
     out.extend(l2_lossy_cast::check(a));
@@ -126,10 +162,65 @@ pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
     out.extend(l7_todo::check(a));
     out.extend(l8_println::check(a));
     out.extend(l9_hot_mutex::check(a));
-    out.retain(|d| !a.suppressed(d.rule, d.line));
-    out.extend(a.meta_diags.iter().cloned());
-    out.sort_by_key(|d| (d.line, d.col));
+    out.extend(l10_hash_order::check(a));
+    out.extend(l11_atomic::check(a));
+    out.extend(l13_nondet::check(a));
     out
+}
+
+/// Applies suppression comments to the raw findings, flags stale
+/// suppressions (A1), appends the context's own meta diagnostics (A0 —
+/// neither is suppressible: they complain about the suppressions
+/// themselves), and sorts.
+pub(crate) fn finalize(a: &Analysis, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = raw
+        .iter()
+        .filter(|d| !a.suppressed(d.rule, d.line))
+        .cloned()
+        .collect();
+    for s in &a.suppressions {
+        let stale: Vec<&str> = s
+            .rules
+            .iter()
+            .filter(|r| {
+                !raw.iter()
+                    .any(|d| &d.rule == *r && (d.line == s.line || d.line == s.line + 1))
+            })
+            .copied()
+            .collect();
+        if !stale.is_empty() {
+            out.push(Diagnostic {
+                rule: "A1",
+                level: level_of("A1"),
+                path: a.path.clone(),
+                line: s.line,
+                col: s.col,
+                message: format!(
+                    "stale suppression: allow({}) matches no finding on its covered lines",
+                    stale.join(", ")
+                ),
+                snippet: s.text.clone(),
+                hint: "delete the dead allow (or the dead rule names from its list) — \
+                       the allow-list is only an audit while every entry is live"
+                    .to_string(),
+            });
+        }
+    }
+    out.extend(a.meta_diags.iter().cloned());
+    out.sort_by_key(|d| (d.line, d.col, d.rule));
+    out
+}
+
+/// Runs the full pipeline on one analyzed file in isolation: per-file
+/// rules, a single-file workspace graph (so L12 sees intra-file
+/// cycles), suppression handling, and the meta rules. Fixtures and
+/// unit tests use this; `lint_workspace` runs the same pipeline with a
+/// whole-workspace graph instead.
+pub fn run_rules(a: &Analysis) -> Vec<Diagnostic> {
+    let mut raw = per_file_rules(a);
+    let graph = WorkspaceGraph::build(std::slice::from_ref(a));
+    raw.extend(graph.diags_for(&a.path));
+    finalize(a, raw)
 }
 
 /// Builds a diagnostic anchored at code token `idx`.
@@ -187,26 +278,6 @@ pub(crate) fn matching_open_paren(code: &[Token], close: usize) -> Option<usize>
             match code[i].text.as_str() {
                 ")" => depth += 1,
                 "(" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return Some(i);
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    None
-}
-
-/// Index of the `)` matching the `(` at `open`, scanning forward.
-pub(crate) fn matching_close_paren(code: &[Token], open: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (i, t) in code.iter().enumerate().skip(open) {
-        if t.kind == TokKind::Punct {
-            match t.text.as_str() {
-                "(" => depth += 1,
-                ")" => {
                     depth -= 1;
                     if depth == 0 {
                         return Some(i);

@@ -1,0 +1,497 @@
+//! Syntax-lite: a lightweight structural layer over the token stream.
+//!
+//! mp-lint deliberately has no dependencies, so it cannot use a real
+//! Rust parser — but several rules need more structure than a flat
+//! token scan: L6 must know a function's *return type*, L9 must know
+//! which tokens sit inside `use` declarations, L10 must know which
+//! bindings are hash-typed, and L12 must walk function bodies. This
+//! module parses exactly the slice of Rust those rules need — items,
+//! `fn` signatures (name / params / return type / body span),
+//! brace-scoped blocks, `use` trees, and method-call chains — and
+//! nothing more ("syntax-lite", not full Rust). Everything here is a
+//! *conservative over-approximation*: when the token stream is
+//! ambiguous the layer errs toward "don't know", and rules treat
+//! "don't know" as "don't flag" (for deny rules) so the tree's own
+//! gate stays trustworthy.
+
+use crate::context::matching_brace;
+use crate::lexer::{TokKind, Token};
+use std::collections::BTreeSet;
+
+/// A parsed `fn` item: `fn name <generics>? ( params ) (-> ret)?
+/// (where …)? { body }`. Token indices refer to the code-token vector
+/// the file was built from.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Index of the `fn` keyword token.
+    pub fn_idx: usize,
+    /// Index of the function-name identifier.
+    pub name_idx: usize,
+    /// The function name.
+    pub name: String,
+    /// Return-type token range `[start, end)`; empty when the function
+    /// returns `()`.
+    pub ret: (usize, usize),
+    /// Body brace span `(open, close)` (both inclusive token indices),
+    /// or `None` for trait-signature declarations.
+    pub body: Option<(usize, usize)>,
+    /// Index of the body's `{` (or the terminating `;`): where the
+    /// signature ends.
+    pub sig_end: usize,
+    /// The innermost enclosing `impl` block's type name, if any.
+    pub impl_ty: Option<String>,
+}
+
+/// The structural facts one file exposes to the rules.
+#[derive(Debug, Clone, Default)]
+pub struct FileSyntax {
+    /// Every `fn` item in the file, in source order (including fns
+    /// nested in test modules — callers consult the test mask).
+    pub fns: Vec<FnDecl>,
+    /// Parallel to the code tokens: token sits inside a `use …;`
+    /// declaration (imports name types without using them).
+    pub use_mask: Vec<bool>,
+    /// Names of bindings whose *outermost* type constructor is
+    /// `HashMap` / `HashSet`: struct fields, `let` bindings with a type
+    /// annotation or a `HashMap::new()`-style initializer, and fn
+    /// params. Name-keyed (not scope-keyed): a rare same-name,
+    /// different-type shadow over-approximates, and the finding is
+    /// suppressible.
+    pub hash_names: BTreeSet<String>,
+}
+
+impl FileSyntax {
+    /// Parses the structural layer from a file's code tokens plus the
+    /// per-token impl-type resolution from [`crate::context`].
+    pub fn build(code: &[Token], impl_ty: &[Option<String>]) -> Self {
+        FileSyntax {
+            fns: parse_fns(code, impl_ty),
+            use_mask: use_mask(code),
+            hash_names: hash_typed_names(code),
+        }
+    }
+}
+
+/// Marks every token belonging to a `use …;` declaration (the `use`
+/// keyword through the terminating `;`).
+fn use_mask(code: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].kind == TokKind::Ident && code[i].text == "use" {
+            let mut j = i;
+            while j < code.len() && code[j].text != ";" {
+                mask[j] = true;
+                j += 1;
+            }
+            if j < code.len() {
+                mask[j] = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Walks the whole token stream and parses every `fn` item.
+fn parse_fns(code: &[Token], impl_ty: &[Option<String>]) -> Vec<FnDecl> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].kind == TokKind::Ident && code[i].text == "fn" {
+            if let Some(f) = parse_fn(code, impl_ty, i) {
+                // Only the header is skipped: fns nested inside this
+                // body are still visited.
+                i = f.sig_end + 1;
+                out.push(f);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses one `fn` item starting at the `fn` keyword. Returns `None`
+/// for `fn`-in-type position (`fn(usize) -> f64`).
+fn parse_fn(code: &[Token], impl_ty: &[Option<String>], fn_idx: usize) -> Option<FnDecl> {
+    let name_idx = fn_idx + 1;
+    if code.get(name_idx)?.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = name_idx + 1;
+    // Generics.
+    if code.get(j).is_some_and(|t| t.text == "<") {
+        let mut angle = 0i32;
+        while j < code.len() {
+            match code[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            j += 1;
+            if angle <= 0 {
+                break;
+            }
+        }
+    }
+    // Parameters.
+    if code.get(j).is_none_or(|t| t.text != "(") {
+        return None;
+    }
+    let params_close = matching_close_paren(code, j)?;
+    j = params_close + 1;
+    // Return type.
+    let mut ret = (j, j);
+    if code.get(j).is_some_and(|t| t.text == "->") {
+        let start = j + 1;
+        let mut k = start;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        while k < code.len() {
+            match code[k].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "{" | ";" | "where" if angle <= 0 && paren <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        ret = (start, k);
+        j = k;
+    }
+    // Where clause.
+    while j < code.len() && code[j].text != "{" && code[j].text != ";" {
+        j += 1;
+    }
+    let body = if code.get(j).is_some_and(|t| t.text == "{") {
+        Some((j, matching_brace(code, j)))
+    } else {
+        None
+    };
+    Some(FnDecl {
+        fn_idx,
+        name_idx,
+        name: code[name_idx].text.clone(),
+        ret,
+        body,
+        sig_end: j,
+        impl_ty: impl_ty.get(fn_idx).cloned().flatten(),
+    })
+}
+
+/// Collects binding names whose outermost type constructor is
+/// `HashMap`/`HashSet` — from type annotations (`name: HashMap<…>`,
+/// struct fields and params alike) and from constructor initializers
+/// (`name = HashMap::new()` / `with_capacity` / `from`).
+fn hash_typed_names(code: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Strip a `std :: collections ::`-style path prefix.
+        let mut j = i;
+        while j >= 2 && code[j - 1].text == "::" && code[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        if code.get(i + 1).is_some_and(|n| n.text == "::") {
+            // Value position: `name = HashMap::new()`.
+            if code[j - 1].text == "=" && j >= 2 && code[j - 2].kind == TokKind::Ident {
+                out.insert(code[j - 2].text.clone());
+            }
+            continue;
+        }
+        // Type position: `name : [&] [mut] HashMap<…>`. Outermost
+        // constructor only — `Vec<HashMap<…>>` has `<` right before.
+        let mut k = j - 1;
+        while k > 0
+            && (code[k].text == "&"
+                || code[k].text == "&&"
+                || code[k].text == "mut"
+                || code[k].kind == TokKind::Lifetime)
+        {
+            k -= 1;
+        }
+        if code[k].text == ":" && k >= 1 && code[k - 1].kind == TokKind::Ident {
+            out.insert(code[k - 1].text.clone());
+        }
+    }
+    out
+}
+
+/// If the expression ending just before the `.` at `dot` is a plain
+/// binding (`x`) or a field chain rooted anywhere (`self.df`,
+/// `outer.inner.df`), returns the final name (`x` / `df`). Calls,
+/// indexing, and literals return `None` — the receiver is not a named
+/// binding the symbol layer can type.
+pub fn simple_receiver_name(code: &[Token], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let t = code.get(dot - 1)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    Some(t.text.clone())
+}
+
+/// Token index where the receiver expression of the `.` at `dot`
+/// begins. Walks left over ident/`self` path segments, `::` paths, and
+/// parenthesized / bracketed groups (`f(x)`, `xs[i]`).
+pub fn receiver_start(code: &[Token], dot: usize) -> usize {
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            return 0;
+        }
+        // Consume one primary segment ending at i-1.
+        let prev = &code[i - 1];
+        let seg_start = match prev.text.as_str() {
+            ")" => match matching_open_paren_at(code, i - 1) {
+                Some(open) => {
+                    // `name(args)` — include the callee identifier.
+                    if open > 0 && code[open - 1].kind == TokKind::Ident {
+                        open - 1
+                    } else {
+                        open
+                    }
+                }
+                None => return i,
+            },
+            "]" => match matching_open_bracket_at(code, i - 1) {
+                Some(open) => open,
+                None => return i,
+            },
+            _ if prev.kind == TokKind::Ident
+                || prev.kind == TokKind::Int
+                || prev.kind == TokKind::Str =>
+            {
+                i - 1
+            }
+            _ => return i,
+        };
+        // Continue left through `.` / `::` chains.
+        if seg_start > 0 && (code[seg_start - 1].text == "." || code[seg_start - 1].text == "::") {
+            i = seg_start - 1;
+        } else {
+            return seg_start;
+        }
+    }
+}
+
+/// Index of the token where the statement containing `idx` begins
+/// (the token after the previous `;` / `{` / `}` at the same nesting
+/// depth, or after an enclosing `(`).
+pub fn stmt_start(code: &[Token], idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = idx;
+    while i > 0 {
+        let t = &code[i - 1];
+        match t.text.as_str() {
+            ")" | "]" | "}" if t.kind == TokKind::Punct => {
+                if t.text == "}" && depth == 0 {
+                    return i;
+                }
+                depth += 1;
+            }
+            "(" | "[" | "{" if t.kind == TokKind::Punct => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return i,
+            _ => {}
+        }
+        i -= 1;
+    }
+    0
+}
+
+/// Index of the token terminating the statement containing `idx`
+/// (the `;` / `}` at the same nesting depth, or an enclosing `)`).
+pub fn stmt_end(code: &[Token], idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = idx;
+    while i < code.len() {
+        let t = &code[i];
+        match t.text.as_str() {
+            "(" | "[" | "{" if t.kind == TokKind::Punct => depth += 1,
+            ")" | "]" | "}" if t.kind == TokKind::Punct => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Backward scan: index of the `(` matching the `)` at `close`.
+fn matching_open_paren_at(code: &[Token], close: usize) -> Option<usize> {
+    matching_backward(code, close, "(", ")")
+}
+
+/// Backward scan: index of the `[` matching the `]` at `close`.
+fn matching_open_bracket_at(code: &[Token], close: usize) -> Option<usize> {
+    matching_backward(code, close, "[", "]")
+}
+
+/// Backward scan: index of the `o` matching the `c` at `close`.
+pub(crate) fn matching_backward(code: &[Token], close: usize, o: &str, c: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in (0..=close).rev() {
+        if code[i].kind == TokKind::Punct {
+            if code[i].text == c {
+                depth += 1;
+            } else if code[i].text == o {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Forward scan: index of the `)` matching the `(` at `open`.
+pub(crate) fn matching_close_paren(code: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Analysis, FileClass};
+
+    fn syn(src: &str) -> (Analysis, FileSyntax) {
+        let a = Analysis::build("mem.rs", src, FileClass::default());
+        let s = a.syntax.clone();
+        (a, s)
+    }
+
+    #[test]
+    fn parses_fn_signatures_with_generics_and_where() {
+        let (_, s) = syn(
+            "impl Foo { fn get<K: Ord>(&self, k: K) -> Option<u32> where K: Clone { None } }\n\
+             fn free() {}\n\
+             trait T { fn sig(&self) -> u64; }",
+        );
+        assert_eq!(s.fns.len(), 3);
+        assert_eq!(s.fns[0].name, "get");
+        assert_eq!(s.fns[0].impl_ty.as_deref(), Some("Foo"));
+        assert!(s.fns[0].body.is_some());
+        assert_eq!(s.fns[1].name, "free");
+        assert_eq!(s.fns[1].impl_ty, None);
+        assert_eq!(s.fns[2].name, "sig");
+        assert!(s.fns[2].body.is_none(), "trait signature has no body");
+    }
+
+    #[test]
+    fn use_mask_covers_decl_to_semicolon() {
+        let (a, s) = syn("use std::sync::{Mutex, Condvar};\nfn f() { let m = Mutex::new(0); }");
+        let masked: Vec<&str> = a
+            .code
+            .iter()
+            .zip(&s.use_mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"Mutex") && masked.contains(&"Condvar"));
+        // The body's Mutex is *not* masked.
+        let body_mutex = a
+            .code
+            .iter()
+            .zip(&s.use_mask)
+            .filter(|(t, _)| t.text == "Mutex")
+            .map(|(_, &m)| m)
+            .collect::<Vec<_>>();
+        assert_eq!(body_mutex, vec![true, false]);
+    }
+
+    #[test]
+    fn hash_typed_names_from_fields_lets_and_ctors() {
+        let (_, s) = syn("struct S { df: HashMap<u32, u32>, names: Vec<String> }\n\
+             fn f(seen: &mut HashSet<u64>) {\n\
+               let acc: std::collections::HashMap<u32, f64> = HashMap::new();\n\
+               let fresh = HashMap::with_capacity(8);\n\
+               let nested: Vec<HashMap<u32, u32>> = Vec::new();\n\
+             }");
+        for name in ["df", "seen", "acc", "fresh"] {
+            assert!(s.hash_names.contains(name), "missing {name}");
+        }
+        assert!(!s.hash_names.contains("names"));
+        assert!(
+            !s.hash_names.contains("nested"),
+            "outermost constructor is Vec, not HashMap"
+        );
+    }
+
+    #[test]
+    fn receiver_helpers_resolve_chains() {
+        let (a, _) = syn("fn f() { self.df.iter(); acc.keys(); self.shard(k).lock(); }");
+        let dots: Vec<usize> = a
+            .code
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == ".")
+            .map(|(i, _)| i)
+            .collect();
+        // `self.df.iter()` — the dot before `iter`.
+        assert_eq!(
+            simple_receiver_name(&a.code, dots[1]).as_deref(),
+            Some("df")
+        );
+        assert_eq!(a.code[receiver_start(&a.code, dots[1])].text, "self");
+        // `acc.keys()`.
+        assert_eq!(
+            simple_receiver_name(&a.code, dots[2]).as_deref(),
+            Some("acc")
+        );
+        // `self.shard(k).lock()` — receiver of `.lock` is a call: no
+        // simple name, but receiver_start walks to `self`.
+        assert_eq!(simple_receiver_name(&a.code, dots[4]), None);
+        assert_eq!(a.code[receiver_start(&a.code, dots[4])].text, "self");
+    }
+
+    #[test]
+    fn stmt_bounds_respect_nesting() {
+        let (a, _) = syn("fn f() { let x = g(a, b); x.sort(); }");
+        let comma = a.code.iter().position(|t| t.text == ",").expect("comma");
+        let start = stmt_start(&a.code, comma);
+        assert_eq!(a.code[start].text, "a", "enclosing paren bounds the scan");
+        let x = a.code.iter().position(|t| t.text == "x").expect("x");
+        assert_eq!(a.code[stmt_start(&a.code, x)].text, "let");
+        assert_eq!(a.code[stmt_end(&a.code, x)].text, ";");
+    }
+}

@@ -8,18 +8,10 @@
 //! linter's own intentionally-violating fixtures under
 //! `crates/lint/tests/fixtures/`.
 
-use crate::context::FileClass;
+use crate::context::{FileClass, DETERMINISTIC_CRATES, LIBRARY_CRATES, RELAXED_COUNTER_MODULES};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-
-/// Crates whose `src/` is held to L3 (no `unwrap()`, justified
-/// `expect()` only). The binary-facing crates (`cli`, `bench`) are not:
-/// `expect` on malformed CLI arguments *is* their error UX.
-const L3_LIBRARY_CRATES: &[&str] = &[
-    "stats", "text", "index", "corpus", "hidden", "workload", "core", "eval", "lint", "obs",
-    "serve",
-];
 
 /// One file to lint.
 #[derive(Debug, Clone)]
@@ -97,11 +89,13 @@ pub fn classify(rel: &str) -> FileClass {
         ["src", rest @ ..] => {
             class.l3_library = !binary_path(rest);
             class.l8_library = class.l3_library;
+            class.l10_library = class.l3_library;
         }
         ["tests" | "examples" | "benches", ..] => class.test_file = true,
         ["crates", krate, "src", rest @ ..] => {
-            class.l3_library = L3_LIBRARY_CRATES.contains(krate) && !binary_path(rest);
+            class.l3_library = LIBRARY_CRATES.contains(krate) && !binary_path(rest);
             class.l8_library = class.l3_library;
+            class.l10_library = class.l3_library;
             class.l4_exempt = (*krate == "core" && rest == ["par.rs"])
                 || (*krate == "serve" && rest == ["pool.rs"]);
             // The modules a cold serve request traverses per probe: the
@@ -112,6 +106,8 @@ pub fn classify(rel: &str) -> FileClass {
                     ["server.rs" | "stats.rs" | "cache.rs" | "queue.rs" | "pool.rs"]
                 ))
                 || (*krate == "hidden" && matches!(rest, ["db.rs" | "unreliable.rs"]));
+            class.l11_relaxed_ok = RELAXED_COUNTER_MODULES.contains(&rel);
+            class.l13_deterministic = DETERMINISTIC_CRATES.contains(krate);
         }
         ["crates", _, "tests" | "benches", ..] => class.test_file = true,
         _ => {}
@@ -179,5 +175,28 @@ mod tests {
         assert!(classify("crates/stats/benches/micro.rs").test_file);
         assert!(classify("crates/lint/tests/fixtures_test.rs").test_file);
         assert!(!classify("crates/stats/src/lib.rs").test_file);
+
+        // L10 tracks the shared library-crate list.
+        assert!(classify("crates/index/src/index.rs").l10_library);
+        assert!(classify("crates/serve/src/cache.rs").l10_library);
+        assert!(classify("src/lib.rs").l10_library);
+        assert!(!classify("crates/cli/src/main.rs").l10_library);
+        assert!(!classify("crates/index/tests/kernel_equivalence.rs").l10_library);
+
+        // L11: only the registered counter-only modules may use Relaxed.
+        assert!(classify("crates/obs/src/stripe.rs").l11_relaxed_ok);
+        assert!(classify("crates/serve/src/stats.rs").l11_relaxed_ok);
+        assert!(classify("crates/core/src/par.rs").l11_relaxed_ok);
+        assert!(!classify("crates/serve/src/server.rs").l11_relaxed_ok);
+        assert!(!classify("crates/core/src/engine.rs").l11_relaxed_ok);
+
+        // L13: the deterministic-contract crates, src only.
+        assert!(classify("crates/core/src/engine.rs").l13_deterministic);
+        assert!(classify("crates/stats/src/discrete.rs").l13_deterministic);
+        assert!(classify("crates/index/src/index.rs").l13_deterministic);
+        assert!(classify("crates/hidden/src/unreliable.rs").l13_deterministic);
+        assert!(!classify("crates/obs/src/span.rs").l13_deterministic);
+        assert!(!classify("crates/serve/src/server.rs").l13_deterministic);
+        assert!(!classify("crates/core/tests/engine_equivalence.rs").l13_deterministic);
     }
 }

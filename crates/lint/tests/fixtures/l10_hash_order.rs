@@ -1,0 +1,50 @@
+//! Deliberately violates L10: hash-order iteration in library code.
+//!
+//! The float accumulation below is the PR 4 `cosine_topk` bug in
+//! miniature — the sum's rounding depends on `RandomState`'s
+//! per-process seed.
+
+use std::collections::HashMap;
+
+pub fn sum_scores(scores: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in scores.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn keys_in_hash_order(index: &HashMap<u32, Vec<u32>>) -> Vec<u32> {
+    index.keys().copied().collect()
+}
+
+pub struct Tally {
+    counts: HashMap<u32, u32>,
+}
+
+impl Tally {
+    pub fn emit(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counts {
+            out.push((*k, *v));
+        }
+        out
+    }
+}
+
+// The compliant shapes, for contrast — none of these may fire:
+
+pub fn sorted_keys(index: &HashMap<u32, Vec<u32>>) -> Vec<u32> {
+    let mut ks: Vec<u32> = index.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+pub fn rekeyed(index: &HashMap<u32, u32>) -> std::collections::BTreeMap<u32, u32> {
+    index.iter().map(|(&k, &v)| (k, v)).collect::<std::collections::BTreeMap<_, _>>()
+}
+
+pub fn allowed_total(counts: &HashMap<u32, u32>) -> u64 {
+    // mp-lint: allow(L10): u32 increments commute — order cannot change the total
+    counts.values().map(|&v| u64::from(v)).sum()
+}

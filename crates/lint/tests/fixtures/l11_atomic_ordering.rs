@@ -1,0 +1,44 @@
+//! Deliberately violates L11: this fixture is *not* a registered
+//! counter-only module, so Relaxed is off-limits, and its
+//! acquire/release uses are half-protocols or missing their
+//! published-invariant comments.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Flags {
+    ready: AtomicBool,
+    epoch: AtomicU64,
+}
+
+impl Flags {
+    pub fn relaxed_outside_registry(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub fn store_with_no_reader(&self) {
+        // publishes the parked state — but nothing acquires it, ever
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn load_without_invariant(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+// The compliant shape, for contrast — a commented, paired protocol:
+
+pub struct Gate {
+    open: AtomicBool,
+}
+
+impl Gate {
+    pub fn open(&self) {
+        // publishes everything written before the flip: pairs with is_open()
+        self.open.store(true, Ordering::Release);
+    }
+
+    pub fn is_open(&self) -> bool {
+        // pairs with the Release store in open()
+        self.open.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,35 @@
+//! Deliberately violates L12: `left_then_right` acquires
+//! `left → right` while `right_then_left` acquires `right → left` (the
+//! second hop hidden one call deep in `grab_left`, which the call-graph
+//! propagation must surface). Two code paths, opposite orders — the
+//! schedule-dependent deadlock `queue_stress.rs` can only hope to
+//! catch at runtime.
+
+pub struct Pair;
+
+impl Pair {
+    pub fn left_then_right(&self) {
+        if let Ok(a) = self.left.lock() {
+            if let Ok(b) = self.right.lock() {
+                use_both(&a, &b);
+            }
+        }
+    }
+
+    pub fn right_then_left(&self) {
+        if let Ok(b) = self.right.lock() {
+            self.grab_left();
+            keep(&b);
+        }
+    }
+
+    fn grab_left(&self) {
+        if let Ok(a) = self.left.lock() {
+            keep(&a);
+        }
+    }
+}
+
+fn use_both<T>(_a: &T, _b: &T) {}
+
+fn keep<T>(_g: &T) {}

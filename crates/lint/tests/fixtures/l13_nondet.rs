@@ -1,0 +1,24 @@
+//! Deliberately violates L13: ambient nondeterminism sources in a file
+//! classified as deterministic-contract code. Every value below is a
+//! hidden input that varies across runs while type-checking fine.
+
+pub fn elapsed_guess() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn schedule_dependent_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}
+
+pub fn ambient_config() -> Option<String> {
+    std::env::var("MP_FIXTURE_KNOB").ok()
+}
+
+pub fn seeded_per_process() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}

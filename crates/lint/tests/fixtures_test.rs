@@ -36,6 +36,10 @@ fn lint_fixture(name: &str) -> Vec<Diagnostic> {
         l3_library: true,
         l8_library: true,
         l9_hot_path: true,
+        l10_library: true,
+        l13_deterministic: true,
+        // l11_relaxed_ok stays false: fixtures are held to the strict
+        // acquire/release discipline, like unregistered modules.
         ..FileClass::default()
     };
     lint_source(name, &source, class)
@@ -101,9 +105,29 @@ fn every_rule_is_seeded_by_some_fixture() {
             seeded.insert(d.rule);
         }
     }
-    for rule in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "A0"] {
+    for rule in [
+        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L13", "A0",
+        "A1",
+    ] {
         assert!(seeded.contains(rule), "no fixture seeds rule {rule}");
     }
+}
+
+#[test]
+fn l12_fixture_names_the_full_lock_chain() {
+    // The acceptance contract for the lock graph: the seeded two-lock
+    // cycle is found through the one-level call propagation, and the
+    // diagnostic names every lock in the cycle, in order.
+    let diags = lint_fixture("l12_lock_order.rs");
+    let l12: Vec<_> = diags.iter().filter(|d| d.rule == "L12").collect();
+    assert_eq!(l12.len(), 1, "exactly one cycle: {diags:?}");
+    assert!(
+        l12[0]
+            .message
+            .contains("local::Pair::left → local::Pair::right → local::Pair::left"),
+        "full chain named: {}",
+        l12[0].message
+    );
 }
 
 #[test]

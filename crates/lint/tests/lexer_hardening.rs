@@ -1,0 +1,331 @@
+//! Hardening tests for the hand-rolled lexer.
+//!
+//! The lexer underpins every rule: a single mis-lexed raw string or
+//! comment silently blinds (or falsely triggers) the whole analysis, so
+//! this suite attacks exactly the constructs that break naive scanners
+//! — nested block comments, raw strings with `#` guards hiding `//` and
+//! `"`, byte/raw-byte strings, lifetimes vs. char literals, and numeric
+//! literals with underscore separators.
+//!
+//! The backbone is a *round-trip* invariant: the lexer drops only
+//! inter-token whitespace, so walking the source and matching each
+//! token's text verbatim (skipping whitespace between tokens) must
+//! consume the entire input, and the recorded 1-based line/column of
+//! every token must agree with the walk. The invariant holds for
+//! arbitrary input — malformed literals degrade but stay lossless — so
+//! the property tests feed both structured token soup and raw garbage.
+
+use mp_lint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Replays `src` against its own token stream: skips whitespace, then
+/// requires each token's text verbatim at the cursor with the token's
+/// recorded line/col, and finally requires only whitespace to remain.
+/// Returns a description of the first divergence, if any.
+fn reassemble(src: &str) -> Result<(), String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut pos = 0usize;
+    let (mut line, mut col) = (1u32, 1u32);
+    let advance = |pos: &mut usize, line: &mut u32, col: &mut u32| {
+        if chars[*pos] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *pos += 1;
+    };
+    for (i, tok) in lex(src).into_iter().enumerate() {
+        while pos < chars.len() && chars[pos].is_whitespace() {
+            advance(&mut pos, &mut line, &mut col);
+        }
+        if (line, col) != (tok.line, tok.col) {
+            return Err(format!(
+                "token #{i} {:?} recorded at {}:{} but walk reached {line}:{col}",
+                tok.text, tok.line, tok.col
+            ));
+        }
+        for want in tok.text.chars() {
+            if pos >= chars.len() {
+                return Err(format!("token #{i} {:?} runs past end of input", tok.text));
+            }
+            if chars[pos] != want {
+                return Err(format!(
+                    "token #{i} {:?} diverges from source at {line}:{col}: \
+                     expected {want:?}, source has {:?}",
+                    tok.text, chars[pos]
+                ));
+            }
+            advance(&mut pos, &mut line, &mut col);
+        }
+    }
+    while pos < chars.len() {
+        if !chars[pos].is_whitespace() {
+            return Err(format!(
+                "source char {:?} at {line}:{col} not covered by any token",
+                chars[pos]
+            ));
+        }
+        advance(&mut pos, &mut line, &mut col);
+    }
+    Ok(())
+}
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+}
+
+fn code_texts(src: &str) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter(|t| !t.is_comment())
+        .map(|t| t.text)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Targeted cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn block_comments_nest_to_depth_three() {
+    let src = "a /* one /* two /* three */ unwrap() */ == */ b";
+    assert_eq!(code_texts(src), vec!["a", "b"]);
+    let toks = lex(src);
+    assert_eq!(toks[1].kind, TokKind::BlockComment);
+    assert!(toks[1].text.contains("three"));
+    reassemble(src).unwrap();
+}
+
+#[test]
+fn unterminated_block_comment_swallows_the_tail_losslessly() {
+    // Depth never returns to zero: the comment must run to EOF instead
+    // of panicking or resynchronizing mid-comment.
+    let src = "before /* open /* still open */ trailing == tokens";
+    assert_eq!(code_texts(src), vec!["before"]);
+    reassemble(src).unwrap();
+}
+
+#[test]
+fn raw_string_guards_hide_comment_markers_and_quotes() {
+    let src = r###"let s = r#"x // not a comment " still inside == here"#; after"###;
+    let toks = lex(src);
+    assert!(
+        toks.iter().all(|t| !t.is_comment()),
+        "`//` inside a raw string must not open a comment"
+    );
+    let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+    assert_eq!(
+        s.str_content(),
+        Some(r#"x // not a comment " still inside == here"#)
+    );
+    // `==` lives inside the literal, not the code stream.
+    assert!(!code_texts(src).contains(&"==".to_string()));
+    assert!(code_texts(src).contains(&"after".to_string()));
+    reassemble(src).unwrap();
+}
+
+#[test]
+fn double_guard_raw_string_ignores_single_guard_closer() {
+    // `"#` inside an `r##"…"##` literal is content, not a terminator.
+    let src = r####"r##"inner "# not closed yet"## tail"####;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokKind::Str);
+    assert_eq!(toks[0].str_content(), Some(r##"inner "# not closed yet"##));
+    assert_eq!(toks[1].text, "tail");
+    reassemble(src).unwrap();
+}
+
+#[test]
+fn byte_and_raw_byte_strings_lex_as_single_literals() {
+    let src = r###"b"esc \" quote" br#"raw // "byte" content"# c"cstr" cr"craw" end"###;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokKind::Str);
+    assert_eq!(toks[0].text, r#"b"esc \" quote""#);
+    assert_eq!(toks[1].kind, TokKind::Str);
+    assert_eq!(toks[1].str_content(), Some(r#"raw // "byte" content"#));
+    assert_eq!(toks[2].kind, TokKind::Str);
+    assert_eq!(toks[3].kind, TokKind::Str);
+    assert_eq!(toks[4].text, "end");
+    reassemble(src).unwrap();
+}
+
+#[test]
+fn prefix_identifiers_do_not_start_literals() {
+    // `r`, `b`, `br` as plain identifiers (no quote follows) and a
+    // variable named `rb` must stay idents.
+    assert_eq!(
+        code_texts("r = b + br - rb"),
+        vec!["r", "=", "b", "+", "br", "-", "rb"]
+    );
+    // `r#` without a quote is not a raw string opener either (raw
+    // identifier syntax); losslessness is what matters here.
+    reassemble("let r#match = 1;").unwrap();
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let toks = kinds("<'a, '_> 'static 'x' '\\'' '\\u{1F600}' ' '");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Lifetime)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'a", "'_", "'static"]);
+    let chars: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokKind::Char)
+        .map(|(_, t)| t.as_str())
+        .collect();
+    assert_eq!(chars, vec!["'x'", r"'\''", r"'\u{1F600}'", "' '"]);
+}
+
+#[test]
+fn lifetime_bound_then_char_on_one_line() {
+    // The classic killer: a lifetime directly before a char literal.
+    let src = "fn f<'a>(x: &'a u8) { let c = 'q'; }";
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Char && t.text == "'q'"));
+    reassemble(src).unwrap();
+}
+
+#[test]
+fn underscored_numeric_literals_keep_their_class() {
+    let toks =
+        kinds("1_000 1_000.000_1 1_0e1_0 6.02e2_3 0xFF_FF 0b1010_1010 1_000_000u64 2_5.0f32");
+    let want = [
+        (TokKind::Int, "1_000"),
+        (TokKind::Float, "1_000.000_1"),
+        (TokKind::Float, "1_0e1_0"),
+        (TokKind::Float, "6.02e2_3"),
+        (TokKind::Int, "0xFF_FF"),
+        (TokKind::Int, "0b1010_1010"),
+        (TokKind::Int, "1_000_000u64"),
+        (TokKind::Float, "2_5.0f32"),
+    ];
+    assert_eq!(toks.len(), want.len());
+    for (tok, (k, t)) in toks.iter().zip(want) {
+        assert_eq!(tok, &(k, t.to_string()));
+    }
+}
+
+#[test]
+fn composite_nasty_source_reassembles() {
+    let src = r####"
+//! doc // nested markers /* not a block */
+fn main<'a>() {
+    let raw = r##"guard "# inside // and "quotes""##;
+    let b = b"\"bytes\"";
+    /* outer /* inner 'x' "str" */ 1.0e-3 */
+    let f = 1_234.567_8e1_0f64;
+    let c: char = '\u{2764}';
+    let lt: &'static str = "s";
+    if f >= 0.0 && raw.len() >>= b.len() { }
+}
+"####;
+    reassemble(src).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+/// Tricky fragments the generator interleaves; each is a shape that has
+/// historically broken token scanners.
+const FRAGMENTS: &[&str] = &[
+    "/* outer /* inner /* deepest */ */ */",
+    "/* unbalanced tail",
+    "// line with \" and 'q' and /*",
+    "r#\"contains // and \" quote\"#",
+    "r##\"guard \"# inside\"##",
+    "br#\"raw bytes \"with\" quotes\"#",
+    "b\"byte \\\" string\"",
+    "c\"cstr\"",
+    "cr\"craw\"",
+    "\"plain \\\"escaped\\\" string\"",
+    "\"unterminated",
+    "'a",
+    "'_",
+    "'static",
+    "'x'",
+    "'\\n'",
+    "'\\''",
+    "'\\u{1F600}'",
+    "1_000.000_1",
+    "6.022e2_3",
+    "0xFF_FF",
+    "0b1010_1010",
+    "1.0f64",
+    "7_u32",
+    "1.",
+    "1..5",
+    "1.max",
+    "ident",
+    "_under",
+    "r",
+    "br",
+    "x1",
+    "::",
+    "->",
+    "..=",
+    ">>=",
+    "<<",
+    "==",
+    "&&",
+    "λ",
+    "€",
+];
+
+const SEPARATORS: &[&str] = &[" ", "\n", "\t", "\n    ", "  "];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whitespace-separated soup of hostile fragments: the lexer never
+    /// panics, loses nothing, and records exact positions. Line
+    /// comments may legitimately swallow same-line successors and
+    /// unterminated literals run to EOF — the invariant is verbatim
+    /// coverage, which holds regardless of how fragments merge.
+    #[test]
+    fn fragment_soup_reassembles(
+        picks in proptest::collection::vec(
+            (0usize..FRAGMENTS.len(), 0usize..SEPARATORS.len()),
+            0..32,
+        )
+    ) {
+        let mut src = String::new();
+        for (frag, sep) in &picks {
+            src.push_str(FRAGMENTS[*frag]);
+            src.push_str(SEPARATORS[*sep]);
+        }
+        let r = reassemble(&src);
+        prop_assert!(r.is_ok(), "{:?}: {}", src, r.unwrap_err());
+    }
+
+    /// Raw garbage — printable ASCII plus occasional multibyte chars,
+    /// no token structure at all — must still lex losslessly.
+    #[test]
+    fn arbitrary_soup_reassembles(
+        lines in proptest::collection::vec(".*", 0..6)
+    ) {
+        let src = lines.join("\n");
+        let r = reassemble(&src);
+        prop_assert!(r.is_ok(), "{:?}: {}", src, r.unwrap_err());
+    }
+
+    /// Quote-heavy garbage: random interleavings of the characters that
+    /// drive the string/char/comment state machines.
+    #[test]
+    fn delimiter_storm_reassembles(
+        storm in proptest::collection::vec("['\"#rbc/*\\\\ ]{0,12}", 0..6)
+    ) {
+        let src = storm.join("\n");
+        let r = reassemble(&src);
+        prop_assert!(r.is_ok(), "{:?}: {}", src, r.unwrap_err());
+    }
+}

@@ -155,6 +155,9 @@ pub(crate) fn span_stat(name: &'static str) -> &'static SpanStat {
 
 #[cfg(feature = "obs")]
 pub(crate) fn record_edge(parent: &'static str, child: &'static str) {
+    // A generation observed here happens-after the edge-set clear it
+    // numbers, so a stale thread cache can never resurrect pre-reset
+    // edges: pairs with the Release bump in reset().
     let gen = EDGE_GEN.load(Ordering::Acquire);
     let fresh = SEEN_EDGES.with(|seen| {
         let mut seen = seen.borrow_mut();
@@ -372,6 +375,8 @@ pub fn reset() {
         .clear();
     // Invalidate every thread's seen-edge cache so re-observed edges
     // repopulate the freshly cleared set.
+    // publishes the cleared edge set: pairs with the Acquire load in
+    // record_edge(), ordering the clear before the new generation number.
     EDGE_GEN.fetch_add(1, Ordering::Release);
 }
 

@@ -43,9 +43,8 @@ pub struct StripedU64 {
 impl StripedU64 {
     /// A zeroed stripe.
     pub const fn new() -> Self {
-        const ZERO: Cell = Cell(AtomicU64::new(0));
         Self {
-            cells: [ZERO; STRIPES],
+            cells: [const { Cell(AtomicU64::new(0)) }; STRIPES],
         }
     }
 

@@ -90,6 +90,7 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
             // is needed and eviction order is deterministic.
             if let Some(victim) = self
                 .map
+                // mp-lint: allow(L10): ticks strictly increase, so the min is unique — scan order cannot change the victim
                 .iter()
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(k, _)| k.clone())

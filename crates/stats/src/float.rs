@@ -130,7 +130,9 @@ pub fn round_u64(x: f64) -> Option<u64> {
     if !(0.0..18_446_744_073_709_551_616.0).contains(&r) {
         return None;
     }
-    // mp-lint: allow(L2): domain checked above — integer-valued, in u64 range
+    // Domain checked above: `r` is integer-valued and within u64 range, so
+    // the cast is exact (no `allow` needed — L2 keys on textual float
+    // evidence, and a rounded named binding carries none).
     Some(r as u64)
 }
 
