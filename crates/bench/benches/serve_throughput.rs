@@ -16,13 +16,16 @@
 //! [`mp_core::par::set_parallel_enabled`] (the runtime equivalent of
 //! building without the `parallel` feature). Each scenario records a
 //! `scaling_efficiency` — `qps / (min(workers, cores) × qps of the
-//! matching 1-worker row)`. The divisor is **hardware-normalized**: on
-//! a machine with fewer cores than workers, linear scaling in worker
-//! count is physically impossible and the interesting question (the one
-//! the shared-nothing cold path answers) is whether surplus workers
-//! *cost* throughput through lock convoys. Efficiency 1.0 means the
-//! workers extract everything the cores offer; the CI guard fails the
-//! bench if the cold 4-worker rows fall under 0.7 — the signature of a
+//! matching 1-worker row)`, clamped to `[0, 1]` — next to the raw
+//! un-normalized `raw_qps_ratio`. The divisor is
+//! **hardware-normalized**: on a machine with fewer cores than workers,
+//! linear scaling in worker count is physically impossible and the
+//! interesting question (the one the shared-nothing cold path answers)
+//! is whether surplus workers *cost* throughput through lock convoys.
+//! Efficiency 1.0 means the workers extract everything the cores offer
+//! (ratios past 1.0 are median noise, so the fraction is clamped and
+//! the raw ratio reported separately); the CI guard fails the bench if
+//! the cold 4-worker rows fall under 0.7 — the signature of a
 //! cross-worker lock reappearing on the serve path.
 //!
 //! The bench also emits a per-span self-time profile of the cold
@@ -65,18 +68,48 @@ struct ScenarioReport {
     wall_ns: f64,
     /// Requests served per second at the median.
     qps: f64,
-    /// `qps / (min(workers, cores) × qps of the matching 1-worker row)`
-    /// — the matching row shares this row's cache capacity and
-    /// `inner_parallel` setting, and the divisor is capped at the
-    /// machine's core count (surplus workers cannot add throughput, but
-    /// a shared lock would make them *subtract* it). 1.0 means the
-    /// workers extract full linear scaling from the available cores.
+    /// `min(1, qps / (min(workers, cores) × qps of the matching
+    /// 1-worker row))` — the matching row shares this row's cache
+    /// capacity and `inner_parallel` setting, and the divisor is capped
+    /// at the machine's core count (surplus workers cannot add
+    /// throughput, but a shared lock would make them *subtract* it).
+    /// 1.0 means the workers extract full linear scaling from the
+    /// available cores. The value is **clamped at 1.0**: an efficiency
+    /// is a fraction of the linear ideal, and measured ratios above it
+    /// are run-to-run noise (a lucky multi-worker median against an
+    /// unlucky single-worker one), not super-linear scaling. The
+    /// unclamped measurement lives in [`Self::raw_qps_ratio`].
     scaling_efficiency: f64,
+    /// `qps / qps of the matching 1-worker row`, un-normalized and
+    /// un-clamped — the raw speedup over the single-worker baseline.
+    /// This is the number to read when the clamp above kicks in.
+    raw_qps_ratio: f64,
     /// Cache accounting from the last run (deterministic for the
     /// 1-worker rows; representative for the multi-worker ones).
     hits: u64,
     misses: u64,
     dedup_joins: u64,
+}
+
+/// Windowed tail-latency numbers from one cached pass-by-pass run: the
+/// driver ticks the serve window wheel once per repeat pass, so the
+/// rolling percentiles cover only the most recent passes while the
+/// cumulative ones cover the whole batch (including the cold misses of
+/// pass one).
+#[derive(Serialize)]
+struct RollingReport {
+    workers: usize,
+    cache_cap: usize,
+    /// Window ticks driven (= repeat passes).
+    window_ticks: u64,
+    rolling_p50_us: u64,
+    rolling_p99_us: u64,
+    rolling_max_us: u64,
+    /// Requests inside the rolling window.
+    rolling_count: u64,
+    cumulative_p50_us: u64,
+    cumulative_p99_us: u64,
+    cumulative_max_us: u64,
 }
 
 #[derive(Serialize)]
@@ -90,6 +123,10 @@ struct ThroughputReport {
     /// `scaling_efficiency` value (see the bench module docs).
     cores: usize,
     scenarios: Vec<ScenarioReport>,
+    /// Rolling (windowed) vs cumulative latency percentiles of the
+    /// cached 4-worker configuration (mp-obs window wheel; all zeros
+    /// with the `obs` feature off).
+    rolling: RollingReport,
     /// `qps(4 workers, cache on) / qps(1 worker, cache off)` — the
     /// acceptance number (must be ≥ 2).
     speedup_vs_cold_baseline: f64,
@@ -166,15 +203,21 @@ fn run_scenario(
         wall_ns,
         qps,
         scaling_efficiency: 1.0, // filled in once all rows are measured
+        raw_qps_ratio: 1.0,      // likewise
         hits: stats.hits,
         misses: stats.misses,
         dedup_joins: stats.dedup_joins,
     }
 }
 
-/// Fills `scaling_efficiency` for every row from its matching 1-worker
-/// row (same cache capacity and `inner_parallel` setting), normalized
-/// by the cores actually available: `qps / (min(workers, cores) × base)`.
+/// Fills `scaling_efficiency` and `raw_qps_ratio` for every row from
+/// its matching 1-worker row (same cache capacity and `inner_parallel`
+/// setting). The efficiency is hardware-normalized —
+/// `qps / (min(workers, cores) × base)` — and clamped to `[0, 1]`:
+/// values above 1.0 are measurement noise, not super-linear scaling,
+/// and reporting them as "efficiency" misreads the normalizer. The raw
+/// (un-normalized, un-clamped) qps ratio is kept alongside so the
+/// underlying measurement is never lost to the clamp.
 fn fill_scaling_efficiency(scenarios: &mut [ScenarioReport], cores: usize) {
     let singles: Vec<(usize, bool, f64)> = scenarios
         .iter()
@@ -187,7 +230,54 @@ fn fill_scaling_efficiency(scenarios: &mut [ScenarioReport], cores: usize) {
             .find(|&&(cap, par, _)| cap == s.cache_cap && par == s.inner_parallel)
             .map(|&(_, _, qps)| qps)
             .expect("every matrix row has a matching 1-worker baseline row");
-        s.scaling_efficiency = s.qps / (s.workers.min(cores) as f64 * base);
+        s.raw_qps_ratio = s.qps / base;
+        s.scaling_efficiency = (s.qps / (s.workers.min(cores) as f64 * base)).min(1.0);
+    }
+}
+
+/// Drives one cached server pass by pass (one window tick per pass) and
+/// reads the rolling vs cumulative latency percentiles off its stats.
+fn measure_rolling(ms: &Arc<Metasearcher>, queries: &[Query], workers: usize) -> RollingReport {
+    let cache_cap = 1024;
+    let server = Server::new(Arc::clone(ms), ServeConfig::new(workers, cache_cap));
+    server.run(|client| {
+        for _ in 0..REPEATS {
+            let tickets: Vec<_> = queries
+                .iter()
+                .map(|q| client.submit(ServeRequest::new(q.clone(), K, THRESHOLD)))
+                .collect();
+            for t in tickets {
+                let resp = t
+                    .and_then(mp_serve::Ticket::wait)
+                    .expect("back-pressure submission never rejects");
+                criterion::black_box(resp);
+            }
+            server.tick_window();
+        }
+    });
+    let stats = server.stats();
+    eprintln!(
+        "serve_throughput rolling (last {} tick(s)): p50 {} µs, p99 {} µs, \
+         max {} µs over {} request(s); cumulative p50 {} µs, p99 {} µs",
+        stats.window_ticks,
+        stats.rolling_p50_us,
+        stats.rolling_p99_us,
+        stats.rolling_max_us,
+        stats.rolling_count,
+        stats.p50_us,
+        stats.p99_us
+    );
+    RollingReport {
+        workers,
+        cache_cap,
+        window_ticks: stats.window_ticks,
+        rolling_p50_us: stats.rolling_p50_us,
+        rolling_p99_us: stats.rolling_p99_us,
+        rolling_max_us: stats.rolling_max_us,
+        rolling_count: stats.rolling_count,
+        cumulative_p50_us: stats.p50_us,
+        cumulative_p99_us: stats.p99_us,
+        cumulative_max_us: stats.latency_max_us,
     }
 }
 
@@ -279,6 +369,9 @@ fn main() {
     // configuration the lock inventory is about), uploaded by CI.
     write_flame_profile(&ms, &requests, 4);
 
+    // Windowed tail-latency snapshot of the cached configuration.
+    let rolling = measure_rolling(&ms, &queries, 4);
+
     let baseline = scenarios
         .iter()
         .find(|s| s.workers == 1 && s.cache_cap == 0 && s.inner_parallel)
@@ -302,6 +395,7 @@ fn main() {
         threshold: THRESHOLD,
         cores,
         scenarios,
+        rolling,
         speedup_vs_cold_baseline: speedup,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apro.json");

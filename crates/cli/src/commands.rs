@@ -191,7 +191,12 @@ pub fn run_suggest(dir: &Path, n: usize) -> Result<String, StateError> {
 ///
 /// The stream takes the first `n_unique` test queries and plays them
 /// `repeat` times round-robin — a repeated-query workload, the shape
-/// the result cache exists for.
+/// the result cache exists for. Each pass over the unique queries is
+/// one rolling-window tick, so the stats line can report windowed
+/// p50/p99 next to the cumulative quantiles. With `trace` (or a
+/// `trace_dump` path) every request runs under a per-request trace and
+/// the flight recorder's worst waterfalls are rendered (and dumped as
+/// `mp-obs-trace/1` JSON).
 #[allow(clippy::too_many_arguments)]
 pub fn run_serve(
     dir: &Path,
@@ -203,6 +208,8 @@ pub fn run_serve(
     k: usize,
     threshold: f64,
     policy_name: &str,
+    trace: bool,
+    trace_dump: Option<&Path>,
 ) -> Result<String, StateError> {
     use mp_serve::{PolicySpec, ServeConfig, ServeRequest, Server};
 
@@ -222,10 +229,6 @@ pub fn run_serve(
         .take(n_unique.max(1))
         .cloned()
         .collect();
-    let requests: Vec<ServeRequest> = (0..repeat.max(1))
-        .flat_map(|_| unique.iter().cloned())
-        .map(|q| ServeRequest::new(q, k, threshold).with_policy(policy.clone()))
-        .collect();
 
     let ms = Metasearcher::with_library(
         st.testbed.mediator.clone(),
@@ -234,17 +237,40 @@ pub fn run_serve(
         library,
     )
     .shared();
+    let tracing = trace || trace_dump.is_some();
     let server = Server::new(
         ms,
         ServeConfig {
             workers: workers.max(1),
             queue_cap: queue_cap.max(1),
             ..ServeConfig::new(workers.max(1), cache_cap)
-        },
+        }
+        .with_trace(tracing),
     );
 
     let start = std::time::Instant::now();
-    let responses = server.serve_batch(requests);
+    // One submit-and-wait pass per repeat, each pass a window tick.
+    let responses: Vec<Result<mp_serve::ServeResponse, mp_serve::ServeError>> =
+        server.run(|client| {
+            let mut out = Vec::with_capacity(unique.len() * repeat.max(1));
+            for _ in 0..repeat.max(1) {
+                let tickets: Vec<_> = unique
+                    .iter()
+                    .map(|q| {
+                        client.submit(
+                            ServeRequest::new(q.clone(), k, threshold).with_policy(policy.clone()),
+                        )
+                    })
+                    .collect();
+                out.extend(
+                    tickets
+                        .into_iter()
+                        .map(|t| t.and_then(mp_serve::Ticket::wait)),
+                );
+                server.tick_window();
+            }
+            out
+        });
     let wall = start.elapsed();
     let errors = responses.iter().filter(|r| r.is_err()).count();
     let stats = server.stats();
@@ -272,10 +298,25 @@ pub fn run_serve(
         stats.p50_us, stats.p99_us, stats.latency_max_us
     ));
     out.push_str(&format!(
+        "rolling (last {} tick(s)): p50 {} µs, p99 {} µs, max {} µs over {} request(s)\n",
+        stats.window_ticks.min(8),
+        stats.rolling_p50_us,
+        stats.rolling_p99_us,
+        stats.rolling_max_us,
+        stats.rolling_count,
+    ));
+    out.push_str(&format!(
         "wall {:.3} s, {:.0} queries/s\n",
         wall.as_secs_f64(),
         qps
     ));
+    if tracing {
+        out.push_str(&server.flight_recorder().render());
+        if let Some(path) = trace_dump {
+            std::fs::write(path, server.flight_recorder().to_json()).map_err(StateError::Io)?;
+            out.push_str(&format!("trace dump written to {}\n", path.display()));
+        }
+    }
     Ok(out)
 }
 
@@ -366,15 +407,40 @@ mod tests {
         init_tiny(&dir);
         run_train(&dir).unwrap();
 
-        let out = run_serve(&dir, 2, 64, 16, 4, 3, 1, 0.8, "greedy").unwrap();
+        let out = run_serve(&dir, 2, 64, 16, 4, 3, 1, 0.8, "greedy", false, None).unwrap();
         assert!(out.contains("served 12 queries (4 unique × 3)"), "{out}");
         assert!(out.contains("queries/s"), "{out}");
         // 4 unique queries played 3 times: at most 4 misses, the rest
         // hits or dedup joins.
         assert!(out.contains("result cache:"), "{out}");
 
-        let bad = run_serve(&dir, 2, 64, 16, 4, 1, 1, 0.8, "no-such-policy").unwrap();
+        let bad = run_serve(&dir, 2, 64, 16, 4, 1, 1, 0.8, "no-such-policy", false, None).unwrap();
         assert!(bad.contains("unknown policy"), "{bad}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_trace_dump_writes_schema_valid_json() {
+        let dir = tmp_dir("trace-dump");
+        init_tiny(&dir);
+        run_train(&dir).unwrap();
+
+        let dump = dir.join("trace.json");
+        let out = run_serve(&dir, 1, 64, 16, 3, 2, 1, 0.8, "greedy", true, Some(&dump)).unwrap();
+        assert!(out.contains("flight recorder"), "{out}");
+        assert!(out.contains("trace dump written to"), "{out}");
+
+        let json = std::fs::read_to_string(&dump).unwrap();
+        assert!(
+            json.starts_with("{\"schema\":\"mp-obs-trace/1\""),
+            "unexpected dump prefix: {}",
+            &json[..json.len().min(80)]
+        );
+        // The CLI always builds with the obs feature on, so the
+        // recorder must have captured the slowest requests of the batch.
+        assert!(json.contains("\"trace\""), "{json}");
+        assert!(json.contains("\"reason\""), "{json}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

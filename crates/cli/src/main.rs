@@ -19,11 +19,18 @@ commands:
   serve    --state DIR [--workers N] [--cache-cap C] [--queue-cap Q]
            [--n UNIQUE] [--repeat R] [--k N] [--threshold T]
            [--policy greedy|random|by-estimate|max-uncertainty]
+           [--trace] [--trace-dump PATH]
 
 observability (any command):
   --obs             print an mp-obs span/metric tree to stderr on exit
   --obs-json PATH   write the mp-obs JSON snapshot to PATH on exit
   (env MP_OBS=0 disables recording entirely)
+
+tracing (serve only):
+  --trace           collect per-request waterfalls; print the flight
+                    recorder (slowest / deadline-missed / shed) on exit
+  --trace-dump PATH also write the flight recorder as JSON (schema
+                    mp-obs-trace/1) to PATH
 ";
 
 struct Opts {
@@ -43,6 +50,8 @@ struct Opts {
     repeat: usize,
     obs: bool,
     obs_json: Option<PathBuf>,
+    trace: bool,
+    trace_dump: Option<PathBuf>,
 }
 
 impl Default for Opts {
@@ -64,6 +73,8 @@ impl Default for Opts {
             repeat: 4,
             obs: false,
             obs_json: None,
+            trace: false,
+            trace_dump: None,
         }
     }
 }
@@ -112,6 +123,8 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), Strin
             "--repeat" => opts.repeat = value()?.parse().map_err(|e| format!("bad repeat: {e}"))?,
             "--obs" => opts.obs = true,
             "--obs-json" => opts.obs_json = Some(PathBuf::from(value()?)),
+            "--trace" => opts.trace = true,
+            "--trace-dump" => opts.trace_dump = Some(PathBuf::from(value()?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -156,6 +169,8 @@ fn main() -> ExitCode {
             opts.k,
             opts.threshold,
             &opts.policy,
+            opts.trace,
+            opts.trace_dump.as_deref(),
         ),
         other => {
             eprintln!("unknown command {other:?}\n{USAGE}");

@@ -119,6 +119,9 @@ pub fn apro(
         let Some(db) = policy.select_db(state, config.k, config.metric) else {
             break; // every database probed
         };
+        // Waterfall breadcrumb: which database the adaptive loop chose
+        // to probe next (a no-op unless a request trace is active).
+        mp_obs::trace_annotate("apro.probe_db", u64::try_from(db).unwrap_or(u64::MAX));
         let actual = probe_fn(db);
         state.probe(db, actual);
         let (sel, exp) = best_set(state.rds(), config.k, config.metric);
@@ -132,8 +135,9 @@ pub fn apro(
         });
     }
 
-    mp_obs::histogram!("apro.probes_per_query", mp_obs::bounds::SMALL)
-        .record(u64::try_from(probes.len()).unwrap_or(u64::MAX));
+    let n_probes = u64::try_from(probes.len()).unwrap_or(u64::MAX);
+    mp_obs::histogram!("apro.probes_per_query", mp_obs::bounds::SMALL).record(n_probes);
+    mp_obs::trace_annotate("apro.probes", n_probes);
     AproOutcome {
         satisfied: expected >= config.threshold,
         selected,

@@ -230,6 +230,7 @@ impl HiddenWebDatabase for UnreliableDb {
             if fail {
                 self.stats.outages.fetch_add(1, Ordering::Relaxed);
                 mp_obs::counter!("probe.outages").incr();
+                mp_obs::trace_annotate("probe.outage", 1);
                 // Outage: the probe still *happened* (and cost time), so
                 // it is counted by the inner probe counter via a real
                 // call with no results requested.
@@ -238,10 +239,12 @@ impl HiddenWebDatabase for UnreliableDb {
                     attempt += 1;
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
                     mp_obs::counter!("probe.retries").incr();
+                    mp_obs::trace_annotate("probe.retry", u64::from(attempt));
                     continue;
                 }
                 self.stats.failures.fetch_add(1, Ordering::Relaxed);
                 mp_obs::counter!("probe.failures").incr();
+                mp_obs::trace_annotate("probe.failed", 1);
                 return SearchResponse {
                     match_count: 0,
                     top_docs: Vec::new(),

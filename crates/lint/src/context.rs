@@ -40,8 +40,11 @@ pub const RELAXED_COUNTER_MODULES: &[&str] = &[
     "crates/hidden/src/unreliable.rs",
     "crates/obs/src/lib.rs",
     "crates/obs/src/metrics.rs",
+    "crates/obs/src/recorder.rs",
     "crates/obs/src/registry.rs",
     "crates/obs/src/stripe.rs",
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/window.rs",
     "crates/serve/src/stats.rs",
 ];
 

@@ -64,8 +64,33 @@ impl Snapshot {
             json_u64s(&mut s, &r.buckets);
             let _ = write!(
                 s,
-                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
                 r.count, r.sum, r.min, r.max
+            );
+            s.push_str(",\"exemplars\":");
+            json_u64s(&mut s, &r.exemplars);
+            s.push('}');
+        }
+        s.push_str("],\"windows\":[");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            json_str(&mut s, &w.name);
+            let _ = write!(s, ",\"slots\":{},\"ticks\":{}", w.slots, w.ticks);
+            s.push_str(",\"bounds\":");
+            json_u64s(&mut s, &w.merged.bounds);
+            s.push_str(",\"buckets\":");
+            json_u64s(&mut s, &w.merged.buckets);
+            let _ = write!(
+                s,
+                ",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                w.merged.count,
+                w.merged.sum,
+                w.merged.max,
+                w.merged.approx_quantile(0.50),
+                w.merged.approx_quantile(0.99)
             );
         }
         s.push_str("],\"edges\":[");
@@ -135,6 +160,21 @@ impl Snapshot {
                     out,
                     "  {:<40} count={} min={} mean={:.1} max={} buckets={:?}",
                     r.name, r.count, r.min, mean, r.max, r.buckets
+                );
+            }
+        }
+        if !self.windows.is_empty() {
+            out.push_str("windows:\n");
+            for w in &self.windows {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} ticks={} count={} rolling p50={} p99={} max={}",
+                    w.name,
+                    w.ticks,
+                    w.merged.count,
+                    w.merged.approx_quantile(0.50),
+                    w.merged.approx_quantile(0.99),
+                    w.merged.max
                 );
             }
         }
@@ -220,7 +260,7 @@ impl Snapshot {
 /// Appends `v` as a JSON string literal (quotes, backslashes, and
 /// control characters escaped — span names are ASCII identifiers, so
 /// this short list is exhaustive in practice).
-fn json_str(out: &mut String, v: &str) {
+pub(crate) fn json_str(out: &mut String, v: &str) {
     out.push('"');
     for ch in v.chars() {
         match ch {
@@ -238,7 +278,7 @@ fn json_str(out: &mut String, v: &str) {
     out.push('"');
 }
 
-fn json_u64s(out: &mut String, vs: &[u64]) {
+pub(crate) fn json_u64s(out: &mut String, vs: &[u64]) {
     out.push('[');
     for (i, v) in vs.iter().enumerate() {
         if i > 0 {
@@ -250,7 +290,7 @@ fn json_u64s(out: &mut String, vs: &[u64]) {
 }
 
 /// Formats nanoseconds with a human unit (ns/µs/ms/s).
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {

@@ -19,8 +19,19 @@
 //! * **Exporters** — a human-readable span tree
 //!   ([`Snapshot::render_tree`]), a flame-style self/total breakdown
 //!   ([`Snapshot::render_flame`]), and a stable, sorted JSON snapshot
-//!   ([`Snapshot::to_json`]) suitable for machine diffing and CI
-//!   artifacts (`repro_output/obs_*.json`).
+//!   ([`Snapshot::to_json`], schema `mp-obs/2`) suitable for machine
+//!   diffing and CI artifacts (`repro_output/obs_*.json`).
+//! * **Per-request traces** (v2) — a [`TraceScope`] on the serving
+//!   thread collects every span close plus explicit annotations
+//!   ([`trace_annotate`], [`trace_stage`]) into a per-request
+//!   waterfall keyed by a deterministic [`TraceId`]; finished traces
+//!   drain through a striped [`TraceSink`] and the worst ones (slow /
+//!   deadline-missed / shed) persist in a bounded [`FlightRecorder`].
+//! * **Windowed metrics** (v2) — [`window!`] / [`WindowWheel`], a
+//!   fixed-slot ring of histogram deltas giving rolling p50/p99/max
+//!   over the last N ticks with an O(buckets) merge; cumulative
+//!   histogram buckets additionally carry the [`TraceId`] of their
+//!   latest traced occupant (exemplar linkage).
 //!
 //! ## Switching it off
 //!
@@ -71,16 +82,25 @@
 
 mod export;
 mod metrics;
+mod recorder;
 mod registry;
 mod span;
 mod stripe;
+mod trace;
+mod window;
 
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use recorder::{FlightReason, FlightRecorder, RecordedFlight};
 pub use registry::{
-    reset, snapshot, CounterRow, GaugeRow, HistogramRow, Snapshot, SpanRow, SCHEMA,
+    reset, snapshot, CounterRow, GaugeRow, HistogramRow, Snapshot, SpanRow, WindowRow, SCHEMA,
 };
 pub use span::SpanGuard;
 pub use stripe::{StripedU64, STRIPES};
+pub use trace::{
+    current_trace_id, trace_annotate, trace_stage, Trace, TraceEvent, TraceEventKind, TraceId,
+    TraceScope, TraceSink, MAX_TRACE_EVENTS,
+};
+pub use window::{window, WindowWheel};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -190,5 +210,19 @@ macro_rules! histogram {
         static SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
             ::std::sync::OnceLock::new();
         *SITE.get_or_init(|| $crate::histogram($name, $bounds))
+    }};
+}
+
+/// Resolves a fixed-slot rolling [`WindowWheel`] handle once per call
+/// site.
+///
+/// `$bounds` follows [`histogram!`]; `$slots` is the number of ticks of
+/// history kept. The first registration of a name fixes both.
+#[macro_export]
+macro_rules! window {
+    ($name:expr, $bounds:expr, $slots:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::WindowWheel> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::window($name, $bounds, $slots))
     }};
 }

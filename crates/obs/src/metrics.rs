@@ -106,6 +106,9 @@ impl Gauge {
 pub struct Histogram {
     bounds: &'static [u64],
     buckets: Vec<AtomicU64>,
+    /// Exemplar linkage: per bucket, the raw [`crate::TraceId`] of the
+    /// latest traced request that landed in it (0 = none yet).
+    exemplars: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
@@ -121,9 +124,12 @@ impl Histogram {
         );
         let mut buckets = Vec::with_capacity(bounds.len() + 1);
         buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        let mut exemplars = Vec::with_capacity(bounds.len() + 1);
+        exemplars.resize_with(bounds.len() + 1, AtomicU64::default);
         Self {
             bounds,
             buckets,
+            exemplars,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
@@ -132,7 +138,9 @@ impl Histogram {
     }
 
     /// Records one observation (relaxed atomics; a no-op while
-    /// recording is disabled).
+    /// recording is disabled). When a per-request trace is active on
+    /// this thread, the bucket's exemplar slot remembers its id — a fat
+    /// tail bucket then points straight at a recorded flight.
     #[inline]
     pub fn record(&self, v: u64) {
         if !crate::is_enabled() {
@@ -145,6 +153,9 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        if let Some(id) = crate::trace::current_trace_id() {
+            self.exemplars[idx].store(id.0, Ordering::Relaxed);
+        }
     }
 
     /// Number of observations.
@@ -186,9 +197,21 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Per-bucket exemplar trace ids (`bounds.len() + 1` entries;
+    /// 0 = no traced request has landed in that bucket).
+    pub fn exemplar_ids(&self) -> Vec<u64> {
+        self.exemplars
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect()
+    }
+
     pub(crate) fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
+        }
+        for e in &self.exemplars {
+            e.store(0, Ordering::Relaxed);
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
@@ -303,6 +326,11 @@ impl Histogram {
     /// Largest observation — always 0 in this build.
     pub fn max(&self) -> u64 {
         0
+    }
+
+    /// Per-bucket exemplar trace ids — always empty in this build.
+    pub fn exemplar_ids(&self) -> Vec<u64> {
+        Vec::new()
     }
 }
 

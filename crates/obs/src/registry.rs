@@ -23,7 +23,8 @@ use std::sync::{Mutex, OnceLock};
 use crate::metrics::{Counter, Gauge, Histogram};
 
 /// Snapshot schema identifier, bumped on any breaking field change.
-pub const SCHEMA: &str = "mp-obs/1";
+/// v2 adds per-histogram `exemplars` and the `windows` section.
+pub const SCHEMA: &str = "mp-obs/2";
 
 /// Per-span aggregate, updated on every span close.
 #[cfg(feature = "obs")]
@@ -124,6 +125,12 @@ fn histograms() -> &'static Sharded<Histogram> {
     S.get_or_init(Sharded::new)
 }
 
+#[cfg(feature = "obs")]
+fn windows() -> &'static Sharded<crate::window::WindowWheel> {
+    static S: OnceLock<Sharded<crate::window::WindowWheel>> = OnceLock::new();
+    S.get_or_init(Sharded::new)
+}
+
 /// Observed parent→child span pairs, for tree reconstruction.
 #[cfg(feature = "obs")]
 fn edges() -> &'static Mutex<BTreeSet<(&'static str, &'static str)>> {
@@ -193,6 +200,20 @@ pub(crate) fn histogram(name: &'static str, bounds: &'static [u64]) -> &'static 
     h
 }
 
+#[cfg(feature = "obs")]
+pub(crate) fn window(
+    name: &'static str,
+    bounds: &'static [u64],
+    slots: usize,
+) -> &'static crate::window::WindowWheel {
+    let w = windows().get_or_insert(name, || crate::window::WindowWheel::new(bounds, slots));
+    debug_assert!(
+        w.bounds() == bounds && w.slot_count() == slots.max(1),
+        "window `{name}` registered twice with different bounds or slot count"
+    );
+    w
+}
+
 // --- snapshot rows (present in both builds) --------------------------
 
 /// One span's aggregate in a [`Snapshot`].
@@ -245,6 +266,11 @@ pub struct HistogramRow {
     pub min: u64,
     /// Largest observation (0 when empty).
     pub max: u64,
+    /// Exemplar linkage: per bucket, the [`crate::TraceId`] value of
+    /// the latest *traced* request that landed in it (0 = none).
+    /// Either empty (no exemplars recorded — e.g. window-merged rows)
+    /// or `buckets.len()` entries.
+    pub exemplars: Vec<u64>,
 }
 
 impl HistogramRow {
@@ -293,8 +319,24 @@ pub struct Snapshot {
     pub gauges: Vec<GaugeRow>,
     /// All registered histograms.
     pub histograms: Vec<HistogramRow>,
+    /// All registered window wheels (rolling views).
+    pub windows: Vec<WindowRow>,
     /// Observed parent→child span pairs, lexicographically sorted.
     pub edges: Vec<(String, String)>,
+}
+
+/// One window wheel's rolling state in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRow {
+    /// Wheel name.
+    pub name: String,
+    /// Number of slots (the maximum rolling horizon, in ticks).
+    pub slots: u64,
+    /// Ticks elapsed since registration (or the last reset).
+    pub ticks: u64,
+    /// All slots merged into one histogram row (`min` is always 0 —
+    /// a rolling minimum is not maintained; exemplars are empty).
+    pub merged: HistogramRow,
 }
 
 /// Copies the registry into a sorted, owned [`Snapshot`].
@@ -338,12 +380,22 @@ pub fn snapshot() -> Snapshot {
             sum: h.sum(),
             min: h.min(),
             max: h.max(),
+            exemplars: h.exemplar_ids(),
+        });
+    });
+    windows().for_each(|name, w| {
+        snap.windows.push(WindowRow {
+            name: name.to_string(),
+            slots: w.slot_count() as u64,
+            ticks: w.ticks(),
+            merged: w.rolling(name, w.slot_count()),
         });
     });
     snap.spans.sort_by(|a, b| a.name.cmp(&b.name));
     snap.counters.sort_by(|a, b| a.name.cmp(&b.name));
     snap.gauges.sort_by(|a, b| a.name.cmp(&b.name));
     snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap.windows.sort_by(|a, b| a.name.cmp(&b.name));
     {
         let set = edges().lock().expect("mp-obs edge-set mutex poisoned");
         snap.edges = set
@@ -369,6 +421,7 @@ pub fn reset() {
     counters().for_each(|_, c| c.reset());
     gauges().for_each(|_, g| g.reset());
     histograms().for_each(|_, h| h.reset());
+    windows().for_each(|_, w| w.reset());
     edges()
         .lock()
         .expect("mp-obs edge-set mutex poisoned")

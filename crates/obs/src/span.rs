@@ -93,13 +93,11 @@ impl Drop for SpanGuard {
         if !self.active {
             return;
         }
-        STACK.with(|stack| {
+        let closed = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Guards are scope-ordered on one thread, so the top of the
             // stack is necessarily this guard's frame.
-            let Some(frame) = stack.pop() else {
-                return;
-            };
+            let frame = stack.pop()?;
             let elapsed = u64::try_from(frame.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             frame
                 .stat
@@ -107,6 +105,12 @@ impl Drop for SpanGuard {
             if let Some(parent) = stack.last_mut() {
                 parent.child_ns = parent.child_ns.saturating_add(elapsed);
             }
+            Some((frame.name, frame.start, elapsed, stack.len()))
         });
+        // Feed the active per-request trace (if any) outside the stack
+        // borrow — the trace hook takes its own thread-local borrow.
+        if let Some((name, start, elapsed, depth)) = closed {
+            crate::trace::on_span_close(name, start, elapsed, depth);
+        }
     }
 }

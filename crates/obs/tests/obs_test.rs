@@ -289,6 +289,7 @@ mod quantiles {
             sum: 0,
             min,
             max,
+            exemplars: Vec::new(),
         }
     }
 

@@ -327,6 +327,9 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
             let joined = if let Some(flight) = shard.inflight.get(&key) {
                 let flight = Arc::clone(flight);
                 drop(shard);
+                // Timed so a dedup-joined request's waterfall shows how
+                // long it blocked on the leader's computation.
+                let _wait = mp_obs::span!("serve.flight_wait");
                 flight.wait()
             } else {
                 let flight = Arc::new(Flight::new());

@@ -29,7 +29,7 @@ impl Drop for CloseOnDrop<'_> {
 
 /// Runs one serving session (see module docs).
 pub(crate) fn run_scoped<R>(server: &Server, driver: impl FnOnce(&Client<'_>) -> R) -> R {
-    let queue = BoundedQueue::new(server.config().queue_cap.max(1));
+    let queue: BoundedQueue<Job> = BoundedQueue::new(server.config().queue_cap.max(1));
     let workers = server.config().workers.max(1);
     // Pre-size each worker's thread-local retrieval scratch for the
     // largest mediated collection, so no serve-path query ever grows
@@ -46,8 +46,17 @@ pub(crate) fn run_scoped<R>(server: &Server, driver: impl FnOnce(&Client<'_>) ->
         for _ in 0..workers {
             scope.spawn(|| {
                 mp_index::scratch::warm(warm_docs);
-                while let Some(job) = queue.pop() {
+                while let Some(mut job) = queue.pop() {
+                    // Queue context at dequeue time: sampled into the
+                    // gauges every pop, and onto the job so a traced
+                    // flight records the depth it waited behind.
+                    let depth = u32::try_from(queue.len()).unwrap_or(u32::MAX);
+                    job.depth_at_dequeue = depth;
+                    mp_obs::gauge!("serve.queue_depth").set(i64::from(depth));
+                    let inflight = mp_obs::gauge!("serve.inflight");
+                    inflight.adjust(1);
                     server.handle(job);
+                    inflight.adjust(-1);
                 }
             });
         }

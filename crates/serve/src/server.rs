@@ -250,6 +250,15 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Fused hits returned per query.
     pub fuse_limit: usize,
+    /// Collect per-request waterfalls: each request runs under a
+    /// [`mp_obs::TraceScope`], finished traces drain via
+    /// [`Server::drain_traces`], and the worst ones persist in the
+    /// flight recorder. Requires the `obs` feature and runtime
+    /// recording to actually capture anything.
+    pub trace: bool,
+    /// Flights (slow / deadline-missed / shed traces) the flight
+    /// recorder retains; 0 disables it.
+    pub flight_recorder_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -261,6 +270,8 @@ impl Default for ServeConfig {
             rd_cache_cap: 1024,
             cache_shards: 8,
             fuse_limit: 10,
+            trace: false,
+            flight_recorder_cap: 16,
         }
     }
 }
@@ -275,6 +286,13 @@ impl ServeConfig {
             rd_cache_cap: cache_cap,
             ..Self::default()
         }
+    }
+
+    /// Toggles per-request trace collection.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -341,6 +359,14 @@ pub(crate) struct Job {
     pub(crate) req: ServeRequest,
     pub(crate) submitted: Instant,
     pub(crate) slot: Arc<ResponseSlot>,
+    /// The request's deterministic id (allocated at submit; see
+    /// [`StatsCore::next_trace_id`]).
+    pub(crate) trace: mp_obs::TraceId,
+    /// Queue depth observed at submit time.
+    pub(crate) depth_at_submit: u32,
+    /// Queue depth observed when a worker dequeued this job (set by the
+    /// pool just before [`Server::handle`]).
+    pub(crate) depth_at_dequeue: u32,
 }
 
 /// The submission handle available inside [`Server::run`]'s driver.
@@ -354,7 +380,7 @@ impl<'s> Client<'s> {
         Self { server, queue }
     }
 
-    fn job(req: ServeRequest) -> (Job, Ticket) {
+    fn job(&self, req: ServeRequest) -> (Job, Ticket) {
         let slot = Arc::new(ResponseSlot::new());
         let ticket = Ticket {
             slot: Arc::clone(&slot),
@@ -364,6 +390,9 @@ impl<'s> Client<'s> {
                 req,
                 submitted: Instant::now(),
                 slot,
+                trace: self.server.stats.next_trace_id(),
+                depth_at_submit: u32::try_from(self.queue.len()).unwrap_or(u32::MAX),
+                depth_at_dequeue: 0,
             },
             ticket,
         )
@@ -372,11 +401,25 @@ impl<'s> Client<'s> {
     /// Submits without blocking; a full queue is an [`ServeError::Overload`]
     /// rejection (the admission-control path).
     pub fn try_submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
-        let (job, ticket) = Self::job(req);
+        let (job, ticket) = self.job(req);
         match self.queue.try_push(job) {
             Ok(()) => Ok(ticket),
-            Err(crate::queue::TryPushError::Full(_)) => {
+            Err(crate::queue::TryPushError::Full(job)) => {
                 self.server.stats.reject();
+                if self.server.config.trace {
+                    // A shed request never reaches a worker, so build
+                    // its (tiny) trace here: the id and the queue state
+                    // that caused the rejection.
+                    let mut trace = mp_obs::Trace::new(job.trace);
+                    trace.annotate("serve.shed", 1);
+                    trace.annotate(
+                        "serve.queue_depth_at_submit",
+                        u64::from(job.depth_at_submit),
+                    );
+                    self.server
+                        .recorder
+                        .offer(trace, 0, mp_obs::FlightReason::Shed);
+                }
                 Err(ServeError::Overload)
             }
             Err(crate::queue::TryPushError::Closed(_)) => Err(ServeError::Closed),
@@ -386,7 +429,7 @@ impl<'s> Client<'s> {
     /// Submits, waiting for queue space (back-pressure instead of
     /// shedding); fails only when the session is closing.
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
-        let (job, ticket) = Self::job(req);
+        let (job, ticket) = self.job(req);
         match self.queue.push_blocking(job) {
             Ok(()) => Ok(ticket),
             Err(_) => Err(ServeError::Closed),
@@ -407,6 +450,11 @@ pub struct Server {
     results: ShardedCache<CacheKey, MetasearchResult>,
     rds: ShardedCache<Query, Vec<Discrete>>,
     pub(crate) stats: StatsCore,
+    /// Finished per-request waterfalls, striped per worker thread (no
+    /// cross-worker lock on the completion path).
+    sink: mp_obs::TraceSink,
+    /// The worst traces (slow / deadline-missed / shed), bounded.
+    pub(crate) recorder: mp_obs::FlightRecorder,
 }
 
 impl Server {
@@ -417,8 +465,10 @@ impl Server {
             results: ShardedCache::new(config.cache_cap, shards),
             rds: ShardedCache::new(config.rd_cache_cap, shards),
             ms,
-            config,
             stats: StatsCore::new(),
+            sink: mp_obs::TraceSink::new(),
+            recorder: mp_obs::FlightRecorder::new(config.flight_recorder_cap),
+            config,
         }
     }
 
@@ -435,6 +485,26 @@ impl Server {
     /// A snapshot of this server's counters and latency quantiles.
     pub fn stats(&self) -> ServeStats {
         self.stats.snapshot()
+    }
+
+    /// Closes the current rolling-latency tick (see
+    /// [`ServeStats::rolling_p99_us`]): call once per batch, pass, or
+    /// wall-clock interval — whatever "tick" means to the driver.
+    pub fn tick_window(&self) {
+        self.stats.tick();
+    }
+
+    /// Removes and returns every finished per-request trace collected
+    /// since the last drain, sorted by [`mp_obs::TraceId`]. Empty
+    /// unless [`ServeConfig::trace`] is set (and the `obs` feature is
+    /// compiled in with recording enabled).
+    pub fn drain_traces(&self) -> Vec<mp_obs::Trace> {
+        self.sink.drain()
+    }
+
+    /// The flight recorder holding the worst request traces.
+    pub fn flight_recorder(&self) -> &mp_obs::FlightRecorder {
+        &self.recorder
     }
 
     /// Entries currently in the result cache.
@@ -489,34 +559,79 @@ impl Server {
 
     /// Executes one job: deadline check, cache/dedup lookup, compute,
     /// stats, response. Called from worker threads.
+    ///
+    /// When [`ServeConfig::trace`] is set the whole execution runs
+    /// under a [`mp_obs::TraceScope`] anchored at the *submit* instant,
+    /// so the waterfall starts with the queue wait; the finished trace
+    /// lands in this worker's sink shard and is offered to the flight
+    /// recorder (reason `Slow`, or `DeadlineMissed` on the early-out).
     pub(crate) fn handle(&self, job: Job) {
-        let _span = mp_obs::span!("serve.request");
         let Job {
             req,
             submitted,
             slot,
+            trace,
+            depth_at_submit,
+            depth_at_dequeue,
         } = job;
+        let queue_wait_ns = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let scope = self
+            .config
+            .trace
+            .then(|| mp_obs::TraceScope::begin(trace, submitted));
+        if scope.is_some() {
+            mp_obs::trace_stage("serve.queue_wait", 0, queue_wait_ns);
+            mp_obs::trace_annotate("serve.queue_depth_at_submit", u64::from(depth_at_submit));
+            mp_obs::trace_annotate("serve.queue_depth_at_dequeue", u64::from(depth_at_dequeue));
+        }
         if let Some(deadline) = req.deadline {
             if submitted.elapsed() > deadline {
                 self.stats.deadline_miss();
+                if let Some(finished) = scope.and_then(mp_obs::TraceScope::finish) {
+                    let latency_us = queue_wait_ns / 1_000;
+                    self.sink.push(finished.clone());
+                    self.recorder
+                        .offer(finished, latency_us, mp_obs::FlightReason::DeadlineMissed);
+                }
                 slot.fill(Err(ServeError::DeadlineExceeded));
                 return;
             }
         }
-        let (result, status) = if self.results.is_active() {
-            let key = CacheKey::of(&req);
-            let (result, outcome) = self.results.get_or_compute(key, || self.compute(&req));
-            let status = match outcome {
-                CacheOutcome::Hit => CacheStatus::Hit,
-                CacheOutcome::Computed => CacheStatus::Miss,
-                CacheOutcome::Joined => CacheStatus::Joined,
-            };
-            (result, status)
-        } else {
-            (self.compute(&req), CacheStatus::Bypass)
+        let (result, status) = {
+            // Scoped so the span closes (and enters the waterfall)
+            // before the trace scope finishes below.
+            let _span = mp_obs::span!("serve.request");
+            if self.results.is_active() {
+                let key = CacheKey::of(&req);
+                let (result, outcome) = self.results.get_or_compute(key, || self.compute(&req));
+                let status = match outcome {
+                    CacheOutcome::Hit => CacheStatus::Hit,
+                    CacheOutcome::Computed => CacheStatus::Miss,
+                    CacheOutcome::Joined => CacheStatus::Joined,
+                };
+                (result, status)
+            } else {
+                (self.compute(&req), CacheStatus::Bypass)
+            }
         };
+        if scope.is_some() {
+            let status_name = match status {
+                CacheStatus::Hit => "serve.cache_hit",
+                CacheStatus::Miss => "serve.cache_miss",
+                CacheStatus::Joined => "serve.dedup_join",
+                CacheStatus::Bypass => "serve.cache_bypass",
+            };
+            mp_obs::trace_annotate(status_name, 1);
+        }
         let latency_us = u64::try_from(submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+        // Completion stats record *before* the scope finishes so the
+        // latency histogram's exemplar slot sees this TraceId.
         self.stats.complete(status, latency_us);
+        if let Some(finished) = scope.and_then(mp_obs::TraceScope::finish) {
+            self.sink.push(finished.clone());
+            self.recorder
+                .offer(finished, latency_us, mp_obs::FlightReason::Slow);
+        }
         slot.fill(Ok(ServeResponse {
             result,
             cache: status,

@@ -14,11 +14,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mp_obs::StripedU64;
+use mp_obs::{StripedU64, TraceId, WindowWheel};
 
 use crate::server::CacheStatus;
 
 const BOUNDS: &[u64] = mp_obs::bounds::LATENCY_US;
+
+/// Ticks of rolling-latency history the per-server window wheel keeps.
+/// Eight matches the stripe width used elsewhere and bounds the merge
+/// cost of a rolling read at O(8 · buckets).
+pub(crate) const WINDOW_SLOTS: usize = 8;
 
 /// A point-in-time snapshot of one server's counters.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -49,6 +54,19 @@ pub struct ServeStats {
     pub p50_us: u64,
     /// 99th-percentile latency (bucket upper bound), microseconds.
     pub p99_us: u64,
+    /// Rolling median over the last [`WINDOW_SLOTS`] ticks (bucket
+    /// upper bound), microseconds. Obs-gated telemetry: 0 when the
+    /// `obs` feature is off or recording is disabled.
+    pub rolling_p50_us: u64,
+    /// Rolling 99th percentile over the window, microseconds (obs-gated
+    /// like [`rolling_p50_us`](Self::rolling_p50_us)).
+    pub rolling_p99_us: u64,
+    /// Rolling worst latency over the window, microseconds (obs-gated).
+    pub rolling_max_us: u64,
+    /// Completions observed inside the rolling window (obs-gated).
+    pub rolling_count: u64,
+    /// Window ticks elapsed (advances of the wheel; obs-gated).
+    pub window_ticks: u64,
 }
 
 /// The live counters behind [`ServeStats`].
@@ -58,7 +76,7 @@ pub struct ServeStats {
 /// instead of serializing on one shared line, and `snapshot()` merges
 /// the stripes on export. Only `latency_max_us` stays a plain atomic —
 /// `fetch_max` needs the single authoritative cell.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct StatsCore {
     completed: StripedU64,
     hits: StripedU64,
@@ -71,14 +89,46 @@ pub(crate) struct StatsCore {
     latency_sum_us: StripedU64,
     latency_max_us: AtomicU64,
     latency_buckets: Vec<StripedU64>,
+    /// Session-monotonic trace-id allocator, local to this server so a
+    /// fresh server always hands out ids 1, 2, 3, … — the determinism
+    /// the trace tests pin. Relaxed: ids only need uniqueness and
+    /// monotonicity of the counter itself, never cross-field ordering.
+    trace_seq: AtomicU64,
+    /// Rolling latency deltas, advanced by [`crate::Server::tick_window`].
+    window: WindowWheel,
 }
 
 impl StatsCore {
     pub(crate) fn new() -> Self {
         Self {
+            completed: StripedU64::new(),
+            hits: StripedU64::new(),
+            misses: StripedU64::new(),
+            dedup_joins: StripedU64::new(),
+            rd_hits: StripedU64::new(),
+            rd_misses: StripedU64::new(),
+            rejects: StripedU64::new(),
+            deadline_misses: StripedU64::new(),
+            latency_sum_us: StripedU64::new(),
+            latency_max_us: AtomicU64::new(0),
             latency_buckets: (0..=BOUNDS.len()).map(|_| StripedU64::new()).collect(),
-            ..Self::default()
+            trace_seq: AtomicU64::new(0),
+            window: WindowWheel::new(BOUNDS, WINDOW_SLOTS),
         }
+    }
+
+    /// Allocates the next [`TraceId`] for this server (ids start at 1;
+    /// 0 stays "no trace"). Pure arithmetic over a process-local
+    /// counter — no clocks, no thread ids (L13-clean by construction).
+    pub(crate) fn next_trace_id(&self) -> TraceId {
+        TraceId(self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Closes the current rolling-window tick on both the local wheel
+    /// and its global `mp-obs` mirror.
+    pub(crate) fn tick(&self) {
+        self.window.advance();
+        mp_obs::window!("serve.latency_window_us", BOUNDS, WINDOW_SLOTS).advance();
     }
 
     pub(crate) fn reject(&self) {
@@ -121,7 +171,12 @@ impl StatsCore {
         self.latency_max_us.fetch_max(latency_us, Ordering::Relaxed);
         let idx = BOUNDS.partition_point(|&b| b < latency_us);
         self.latency_buckets[idx].incr();
+        self.window.record(latency_us);
+        // The cumulative mirror records exemplars: called while the
+        // request's TraceScope is still active, so the bucket remembers
+        // this TraceId.
         mp_obs::histogram!("serve.latency_us", BOUNDS).record(latency_us);
+        mp_obs::window!("serve.latency_window_us", BOUNDS, WINDOW_SLOTS).record(latency_us);
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
@@ -138,7 +193,11 @@ impl StatsCore {
             sum: self.latency_sum_us.get(),
             min: 0,
             max: latency_max_us,
+            exemplars: Vec::new(),
         };
+        let rolling = self
+            .window
+            .rolling("serve.latency_us.rolling", WINDOW_SLOTS);
         ServeStats {
             completed: self.completed.get(),
             hits: self.hits.get(),
@@ -153,6 +212,11 @@ impl StatsCore {
             latency_max_us,
             p50_us: row.approx_quantile(0.5),
             p99_us: row.approx_quantile(0.99),
+            rolling_p50_us: rolling.approx_quantile(0.5),
+            rolling_p99_us: rolling.approx_quantile(0.99),
+            rolling_max_us: rolling.max,
+            rolling_count: rolling.count,
+            window_ticks: self.window.ticks(),
         }
     }
 }
@@ -188,6 +252,35 @@ mod tests {
         assert_eq!(s.latency_count, 4);
         assert_eq!(s.latency_sum_us, 160);
         assert_eq!(s.latency_max_us, 100);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn rolling_window_forgets_old_ticks() {
+        mp_obs::set_enabled(true);
+        let core = StatsCore::new();
+        core.complete(CacheStatus::Miss, 400_000);
+        // Push the slow completion past the window horizon.
+        for _ in 0..WINDOW_SLOTS {
+            core.tick();
+        }
+        core.complete(CacheStatus::Miss, 40);
+        let s = core.snapshot();
+        assert_eq!(s.window_ticks, WINDOW_SLOTS as u64);
+        assert_eq!(s.rolling_count, 1, "old tick evicted from the window");
+        assert_eq!(s.rolling_max_us, 40);
+        assert!(s.rolling_p99_us <= BOUNDS[0]);
+        // The cumulative view still remembers everything.
+        assert_eq!(s.latency_count, 2);
+        assert_eq!(s.latency_max_us, 400_000);
+    }
+
+    #[test]
+    fn trace_ids_are_sequential_from_one() {
+        let core = StatsCore::new();
+        assert_eq!(core.next_trace_id(), TraceId(1));
+        assert_eq!(core.next_trace_id(), TraceId(2));
+        assert_eq!(core.next_trace_id(), TraceId(3));
     }
 
     #[test]
