@@ -1,0 +1,243 @@
+//! Fleet-size × shard-count scaling of the scatter-gather selection
+//! path.
+//!
+//! The paper's experiments stop at tens of databases; the shard layer
+//! exists so the selection engine keeps working when the mediated fleet
+//! grows by two orders of magnitude. This bench sweeps fleet sizes
+//! 20 / 200 / 2 000 databases × shard counts 1 / 2 / 8 and measures the
+//! **probe-free selection path** — scatter (per-shard estimates + RD
+//! derivation) → gather (global `E[Cor(DBk)]` merge) →
+//! [`ShardedMetasearcher::select_rd`] — because that is the work whose
+//! cost scales with fleet size on *every* request; adaptive probing
+//! cost scales with the probe budget, not the fleet, and is covered by
+//! `apro_scaling`.
+//!
+//! Every row at a given fleet size must agree on a **selection
+//! checksum** (selected sets + expected-correctness bits folded over
+//! the query batch): the in-bench assert extends the cross-topology
+//! equivalence contract (`mp-core`'s `shard_equivalence` suite) to the
+//! 2 000-database fleet — partitioning may only change *where* the
+//! work runs, never the answer.
+//!
+//! Databases are synthetic and deliberately tiny (4–43 documents over a
+//! 4-term vocabulary, varied per-database term correlations): the axis
+//! under test is *how many* databases the scatter/gather machinery
+//! spans, not how big each one is. The report is merged into the
+//! `fleet_scaling` section of `BENCH_apro.json`; CI uploads it as an
+//! artifact next to the other sections.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mp_core::{
+    CoreConfig, CorrectnessMetric, EdLibrary, IndependenceEstimator, RelevancyDef, ShardAssignment,
+    ShardedMetasearcher,
+};
+use mp_hidden::{ContentSummary, HiddenWebDatabase, Mediator, SimulatedHiddenDb};
+use mp_index::{Document, IndexBuilder, InvertedIndex};
+use mp_text::TermId;
+use mp_workload::Query;
+use serde::Serialize;
+
+const FLEET_SIZES: [usize; 3] = [20, 200, 2000];
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+const RUNS: usize = 5;
+
+fn t(i: u32) -> TermId {
+    TermId(i)
+}
+
+/// Deterministic tiny corpora, varied sizes and term correlations per
+/// database (same recipe as the `shard_equivalence` suite, scaled out
+/// to thousands of databases).
+fn build_indexes(n: usize) -> Vec<InvertedIndex> {
+    (0..n)
+        .map(|d| {
+            let mut b = IndexBuilder::new();
+            let n_docs = 4 + (d as u32).wrapping_mul(7) % 40;
+            for i in 0..n_docs {
+                let mut doc = Document::new();
+                if i % (2 + d as u32 % 3) == 0 {
+                    doc.add_term(t(0), 1);
+                }
+                if (i + d as u32).is_multiple_of(3) {
+                    doc.add_term(t(1), 1);
+                }
+                if d % 2 == 0 && i % 2 == 0 {
+                    doc.add_term(t(2), 1);
+                }
+                doc.add_term(t(3), 1);
+                b.add(doc);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn mediator(indexes: &[InvertedIndex]) -> Mediator {
+    let dbs: Vec<Arc<dyn HiddenWebDatabase>> = indexes
+        .iter()
+        .enumerate()
+        .map(|(i, ix)| {
+            Arc::new(SimulatedHiddenDb::new(format!("db-{i}"), ix.clone()))
+                as Arc<dyn HiddenWebDatabase>
+        })
+        .collect();
+    let summaries = indexes.iter().map(ContentSummary::cooperative).collect();
+    Mediator::new(dbs, summaries)
+}
+
+fn train_queries() -> Vec<Query> {
+    vec![
+        Query::new([t(0), t(1)]),
+        Query::new([t(0), t(3)]),
+        Query::new([t(1), t(2)]),
+        Query::new([t(2), t(3)]),
+    ]
+}
+
+fn test_queries() -> Vec<Query> {
+    vec![
+        Query::new([t(0), t(1)]),
+        Query::new([t(1), t(3)]),
+        Query::new([t(0), t(2)]),
+        Query::new([t(2), t(3)]),
+    ]
+}
+
+/// Order-sensitive fold of the selection outcome: selected global
+/// indices in canonical order plus the exact `E[Cor]` bits. Equal
+/// checksums across shard counts ⇔ equal selections, bit-for-bit.
+fn selection_checksum(sharded: &ShardedMetasearcher, queries: &[Query], k: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for q in queries {
+        let (selected, expected) = sharded.select_rd(q, k, CorrectnessMetric::Partial);
+        for g in selected {
+            mix(g as u64);
+        }
+        mix(expected.to_bits());
+    }
+    h
+}
+
+/// One (fleet size, shard count) cell.
+#[derive(Serialize)]
+struct FleetCell {
+    databases: usize,
+    shards: usize,
+    /// Databases in the largest / smallest shard (round-robin, so the
+    /// spread is at most 1 — recorded to make the partition auditable).
+    max_shard_databases: usize,
+    min_shard_databases: usize,
+    runs: usize,
+    /// Median wall nanoseconds for one full scatter → gather → select
+    /// pass over the query batch.
+    wall_ns: f64,
+    /// Median per-query selection latency, microseconds.
+    us_per_query: f64,
+    /// Selection checksum — identical across every shard count at the
+    /// same fleet size (asserted in-bench).
+    checksum: String,
+}
+
+#[derive(Serialize)]
+struct FleetReport {
+    bench: String,
+    k: usize,
+    queries: usize,
+    cells: Vec<FleetCell>,
+}
+
+fn main() {
+    let k = 2;
+    let queries = test_queries();
+    let mut cells = Vec::new();
+
+    for &n in &FLEET_SIZES {
+        let indexes = build_indexes(n);
+        let med = mediator(&indexes);
+        let config = CoreConfig::default().with_threshold(10.0);
+        let library = EdLibrary::train(
+            &med,
+            &IndependenceEstimator,
+            RelevancyDef::DocFrequency,
+            &train_queries(),
+            &config,
+        );
+        med.reset_probes();
+
+        let mut reference: Option<u64> = None;
+        for &shards in &SHARD_COUNTS {
+            let sharded = ShardedMetasearcher::with_library(
+                &med,
+                Arc::new(IndependenceEstimator),
+                RelevancyDef::DocFrequency,
+                &library,
+                &ShardAssignment::RoundRobin(shards),
+            );
+            let plan = sharded.plan();
+            let sizes: Vec<usize> = (0..plan.n_shards())
+                .map(|s| plan.members(s).len())
+                .collect();
+
+            let mut walls = Vec::with_capacity(RUNS);
+            // Warm-up pass absorbs first-touch allocations.
+            for measured in [false, true, true, true, true, true] {
+                let start = Instant::now();
+                for q in &queries {
+                    criterion::black_box(sharded.select_rd(q, k, CorrectnessMetric::Partial));
+                }
+                if measured {
+                    walls.push(start.elapsed().as_nanos() as f64);
+                }
+            }
+            let (_, wall_ns, _, _) = criterion::summarize(&walls);
+
+            let checksum = selection_checksum(&sharded, &queries, k);
+            // The scale-out extension of the equivalence contract: at a
+            // fixed fleet size, topology never changes the selection.
+            match reference {
+                None => reference = Some(checksum),
+                Some(r) => assert_eq!(
+                    checksum, r,
+                    "selection diverged across topologies at {n} databases, {shards} shards"
+                ),
+            }
+
+            let us_per_query = wall_ns / 1e3 / queries.len() as f64;
+            eprintln!(
+                "fleet_scaling databases={n} shards={shards}: \
+                 {us_per_query:.1} µs/query (checksum {checksum:016x})"
+            );
+            cells.push(FleetCell {
+                databases: n,
+                shards,
+                max_shard_databases: sizes.iter().copied().max().unwrap_or(0),
+                min_shard_databases: sizes.iter().copied().min().unwrap_or(0),
+                runs: RUNS,
+                wall_ns,
+                us_per_query,
+                checksum: format!("{checksum:016x}"),
+            });
+        }
+    }
+
+    let report = FleetReport {
+        bench: "scatter-gather selection, fleet size × shard count".to_string(),
+        k,
+        queries: queries.len(),
+        cells,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apro.json");
+    mp_bench::merge_bench_json(
+        std::path::Path::new(path),
+        "fleet_scaling",
+        report.to_value(),
+    )
+    .expect("BENCH_apro.json written");
+    eprintln!("wrote {path} (section fleet_scaling)");
+}

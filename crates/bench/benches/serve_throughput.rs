@@ -28,6 +28,13 @@
 //! the cold 4-worker rows fall under 0.7 — the signature of a
 //! cross-worker lock reappearing on the serve path.
 //!
+//! Two **sharded** cold rows (1 and 4 workers over a 4-shard
+//! scatter-gather backend) ride the same matrix and the same ≥ 0.7
+//! guard: the partitioned fleet answers bit-identically to the flat
+//! one (the shard layer's equivalence contract), so the rows isolate
+//! topology overhead and prove partitioning keeps the shared-nothing
+//! cold path lock-free.
+//!
 //! The bench also emits a per-span self-time profile of the cold
 //! 4-worker pass (`repro_output/serve_obs_flame.txt`): mp-obs spans are
 //! recorded on each worker's own thread-local stack, so the flame's
@@ -42,9 +49,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use mp_core::{IndependenceEstimator, Metasearcher, RelevancyDef};
+use mp_core::{
+    IndependenceEstimator, Metasearcher, RelevancyDef, ShardAssignment, ShardedMetasearcher,
+};
 use mp_eval::{Testbed, TestbedConfig};
-use mp_serve::{ServeConfig, ServeRequest, Server};
+use mp_serve::{Backend, ServeConfig, ServeRequest, Server};
 use mp_workload::Query;
 use serde::Serialize;
 
@@ -59,6 +68,8 @@ const RUNS: usize = 5;
 #[derive(Serialize)]
 struct ScenarioReport {
     workers: usize,
+    /// Shards the fleet is partitioned across (1 ≙ the flat backend).
+    shards: usize,
     cache_cap: usize,
     /// Whether the inner `mp-core::par` fan-out was enabled for this
     /// row (`false` ≙ the `parallel` feature compiled out).
@@ -159,7 +170,8 @@ fn stream(queries: &[Query]) -> Vec<ServeRequest> {
 /// run, so cache-on rows pay their compulsory misses) and reports the
 /// median wall time.
 fn run_scenario(
-    ms: &Arc<Metasearcher>,
+    backend: &Backend,
+    shards: usize,
     requests: &[ServeRequest],
     workers: usize,
     cache_cap: usize,
@@ -170,7 +182,7 @@ fn run_scenario(
     let mut last_stats = None;
     // Warm-up run absorbs first-touch effects (lazy allocs, page-ins).
     for measured in [false, true, true, true, true, true] {
-        let server = Server::new(Arc::clone(ms), ServeConfig::new(workers, cache_cap));
+        let server = Server::with_backend(backend.clone(), ServeConfig::new(workers, cache_cap));
         let t = Instant::now();
         for r in server.serve_batch(requests.iter().cloned()) {
             let resp = r.expect("back-pressure submission never rejects");
@@ -187,7 +199,7 @@ fn run_scenario(
     let stats = last_stats.expect("at least one measured run");
     let qps = requests.len() as f64 / (wall_ns / 1e9);
     eprintln!(
-        "serve_throughput workers={workers} cache_cap={cache_cap} \
+        "serve_throughput workers={workers} shards={shards} cache_cap={cache_cap} \
          inner_parallel={inner_parallel}: \
          {:.1} ms/batch, {qps:.0} q/s (hits {} misses {} joins {})",
         wall_ns / 1e6,
@@ -197,6 +209,7 @@ fn run_scenario(
     );
     ScenarioReport {
         workers,
+        shards,
         cache_cap,
         inner_parallel,
         runs: RUNS,
@@ -219,16 +232,18 @@ fn run_scenario(
 /// (un-normalized, un-clamped) qps ratio is kept alongside so the
 /// underlying measurement is never lost to the clamp.
 fn fill_scaling_efficiency(scenarios: &mut [ScenarioReport], cores: usize) {
-    let singles: Vec<(usize, bool, f64)> = scenarios
+    let singles: Vec<(usize, usize, bool, f64)> = scenarios
         .iter()
         .filter(|s| s.workers == 1)
-        .map(|s| (s.cache_cap, s.inner_parallel, s.qps))
+        .map(|s| (s.shards, s.cache_cap, s.inner_parallel, s.qps))
         .collect();
     for s in scenarios.iter_mut() {
         let base = singles
             .iter()
-            .find(|&&(cap, par, _)| cap == s.cache_cap && par == s.inner_parallel)
-            .map(|&(_, _, qps)| qps)
+            .find(|&&(sh, cap, par, _)| {
+                sh == s.shards && cap == s.cache_cap && par == s.inner_parallel
+            })
+            .map(|&(_, _, _, qps)| qps)
             .expect("every matrix row has a matching 1-worker baseline row");
         s.raw_qps_ratio = s.qps / base;
         s.scaling_efficiency = (s.qps / (s.workers.min(cores) as f64 * base)).min(1.0);
@@ -322,29 +337,53 @@ fn main() {
     assert_eq!(queries.len(), UNIQUE, "testbed provides the unique set");
     let requests = stream(&queries);
 
+    let flat = Backend::Flat(Arc::clone(&ms));
+    // One sharded twin of the same fleet: the scatter-gather backend
+    // answers bit-identically (the shard layer's equivalence contract),
+    // so these rows measure pure topology overhead.
+    const SHARDS: usize = 4;
+    let sharded = Backend::Sharded(
+        ShardedMetasearcher::with_library(
+            &tb.mediator,
+            Arc::new(IndependenceEstimator),
+            RelevancyDef::DocFrequency,
+            &tb.library,
+            &ShardAssignment::ByNameFnv(SHARDS),
+        )
+        .shared(),
+    );
+
     // Acceptance matrix (inner fan-out on) + cold-cache worker-scaling
-    // sweep with the inner fan-out on vs forced off.
+    // sweep with the inner fan-out on vs forced off + cold sharded rows
+    // (the cold 4-worker sharded row sits under the same ≥ 0.7 scaling
+    // guard as the flat one: partitioning must not reintroduce a
+    // cross-worker lock).
     let matrix = [
-        (1usize, 0usize, true),
-        (1, 1024, true),
-        (2, 0, true),
-        (4, 0, true),
-        (4, 1024, true),
-        (1, 0, false),
-        (2, 0, false),
-        (4, 0, false),
+        (1usize, 0usize, true, 1usize),
+        (1, 1024, true, 1),
+        (2, 0, true, 1),
+        (4, 0, true, 1),
+        (4, 1024, true, 1),
+        (1, 0, false, 1),
+        (2, 0, false, 1),
+        (4, 0, false, 1),
+        (1, 0, true, SHARDS),
+        (4, 0, true, SHARDS),
     ];
     let mut scenarios: Vec<ScenarioReport> = matrix
         .iter()
-        .map(|&(workers, cap, par)| run_scenario(&ms, &requests, workers, cap, par))
+        .map(|&(workers, cap, par, shards)| {
+            let backend = if shards == 1 { &flat } else { &sharded };
+            run_scenario(backend, shards, &requests, workers, cap, par)
+        })
         .collect();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     fill_scaling_efficiency(&mut scenarios, cores);
     for s in &scenarios {
         eprintln!(
-            "serve_throughput workers={} cache_cap={} inner_parallel={}: \
+            "serve_throughput workers={} shards={} cache_cap={} inner_parallel={}: \
              scaling efficiency {:.2} ({cores} cores)",
-            s.workers, s.cache_cap, s.inner_parallel, s.scaling_efficiency
+            s.workers, s.shards, s.cache_cap, s.inner_parallel, s.scaling_efficiency
         );
     }
 
@@ -358,8 +397,9 @@ fn main() {
     {
         assert!(
             s.scaling_efficiency >= 0.7,
-            "cold scaling regression: 4-worker (inner_parallel={}) efficiency \
+            "cold scaling regression: 4-worker (shards={}, inner_parallel={}) efficiency \
              {:.2} < 0.7 on {cores} cores — a shared lock is back on the cold path",
+            s.shards,
             s.inner_parallel,
             s.scaling_efficiency
         );
@@ -374,11 +414,11 @@ fn main() {
 
     let baseline = scenarios
         .iter()
-        .find(|s| s.workers == 1 && s.cache_cap == 0 && s.inner_parallel)
+        .find(|s| s.workers == 1 && s.shards == 1 && s.cache_cap == 0 && s.inner_parallel)
         .expect("baseline scenario present");
     let candidate = scenarios
         .iter()
-        .find(|s| s.workers == 4 && s.cache_cap > 0 && s.inner_parallel)
+        .find(|s| s.workers == 4 && s.shards == 1 && s.cache_cap > 0 && s.inner_parallel)
         .expect("candidate scenario present");
     let speedup = candidate.qps / baseline.qps;
     eprintln!("serve_throughput speedup (4w cached vs 1w cold): {speedup:.1}x");

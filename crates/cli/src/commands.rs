@@ -201,6 +201,7 @@ pub fn run_suggest(dir: &Path, n: usize) -> Result<String, StateError> {
 pub fn run_serve(
     dir: &Path,
     workers: usize,
+    shards: usize,
     cache_cap: usize,
     queue_cap: usize,
     n_unique: usize,
@@ -211,7 +212,7 @@ pub fn run_serve(
     trace: bool,
     trace_dump: Option<&Path>,
 ) -> Result<String, StateError> {
-    use mp_serve::{PolicySpec, ServeConfig, ServeRequest, Server};
+    use mp_serve::{Backend, PolicySpec, ServeConfig, ServeRequest, Server};
 
     let st = state::load_state(dir)?;
     let library = st.library()?.clone();
@@ -230,16 +231,36 @@ pub fn run_serve(
         .cloned()
         .collect();
 
-    let ms = Metasearcher::with_library(
-        st.testbed.mediator.clone(),
-        Box::new(mp_core::IndependenceEstimator),
-        RelevancyDef::DocFrequency,
-        library,
-    )
-    .shared();
+    // `--shards 1` keeps the flat single-owner engine; anything larger
+    // partitions the fleet by FNV-hashed database name and serves over
+    // the scatter-gather backend (value-identical by the shard layer's
+    // equivalence contract).
+    let shards = shards.max(1).min(st.testbed.mediator.len());
+    let backend = if shards > 1 {
+        Backend::Sharded(
+            mp_core::ShardedMetasearcher::with_library(
+                &st.testbed.mediator,
+                std::sync::Arc::new(mp_core::IndependenceEstimator),
+                RelevancyDef::DocFrequency,
+                &library,
+                &mp_core::ShardAssignment::ByNameFnv(shards),
+            )
+            .shared(),
+        )
+    } else {
+        Backend::Flat(
+            Metasearcher::with_library(
+                st.testbed.mediator.clone(),
+                Box::new(mp_core::IndependenceEstimator),
+                RelevancyDef::DocFrequency,
+                library,
+            )
+            .shared(),
+        )
+    };
     let tracing = trace || trace_dump.is_some();
-    let server = Server::new(
-        ms,
+    let server = Server::with_backend(
+        backend,
         ServeConfig {
             workers: workers.max(1),
             queue_cap: queue_cap.max(1),
@@ -277,11 +298,12 @@ pub fn run_serve(
     let qps = responses.len() as f64 / wall.as_secs_f64().max(1e-9);
 
     let mut out = format!(
-        "served {} queries ({} unique × {}) with {} worker(s), cache cap {}\n",
+        "served {} queries ({} unique × {}) with {} worker(s), {} shard(s), cache cap {}\n",
         responses.len(),
         unique.len(),
         repeat.max(1),
         workers.max(1),
+        shards,
         cache_cap,
     );
     out.push_str(&format!(
@@ -407,14 +429,38 @@ mod tests {
         init_tiny(&dir);
         run_train(&dir).unwrap();
 
-        let out = run_serve(&dir, 2, 64, 16, 4, 3, 1, 0.8, "greedy", false, None).unwrap();
+        let out = run_serve(&dir, 2, 1, 64, 16, 4, 3, 1, 0.8, "greedy", false, None).unwrap();
         assert!(out.contains("served 12 queries (4 unique × 3)"), "{out}");
+        assert!(out.contains("1 shard(s)"), "{out}");
         assert!(out.contains("queries/s"), "{out}");
         // 4 unique queries played 3 times: at most 4 misses, the rest
         // hits or dedup joins.
         assert!(out.contains("result cache:"), "{out}");
 
-        let bad = run_serve(&dir, 2, 64, 16, 4, 1, 1, 0.8, "no-such-policy", false, None).unwrap();
+        // Same stream over a partitioned fleet: the scatter-gather
+        // backend serves the identical workload shape.
+        let sharded = run_serve(&dir, 2, 3, 64, 16, 4, 3, 1, 0.8, "greedy", false, None).unwrap();
+        assert!(
+            sharded.contains("served 12 queries (4 unique × 3)"),
+            "{sharded}"
+        );
+        assert!(sharded.contains("3 shard(s)"), "{sharded}");
+
+        let bad = run_serve(
+            &dir,
+            2,
+            1,
+            64,
+            16,
+            4,
+            1,
+            1,
+            0.8,
+            "no-such-policy",
+            false,
+            None,
+        )
+        .unwrap();
         assert!(bad.contains("unknown policy"), "{bad}");
 
         std::fs::remove_dir_all(&dir).ok();
@@ -427,7 +473,21 @@ mod tests {
         run_train(&dir).unwrap();
 
         let dump = dir.join("trace.json");
-        let out = run_serve(&dir, 1, 64, 16, 3, 2, 1, 0.8, "greedy", true, Some(&dump)).unwrap();
+        let out = run_serve(
+            &dir,
+            1,
+            1,
+            64,
+            16,
+            3,
+            2,
+            1,
+            0.8,
+            "greedy",
+            true,
+            Some(&dump),
+        )
+        .unwrap();
         assert!(out.contains("flight recorder"), "{out}");
         assert!(out.contains("trace dump written to"), "{out}");
 

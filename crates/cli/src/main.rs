@@ -16,7 +16,7 @@ commands:
   query    --state DIR --text \"words…\" [--k N] [--threshold T]
            [--policy greedy|random|by-estimate|max-uncertainty]
   eval     --state DIR [--k N]
-  serve    --state DIR [--workers N] [--cache-cap C] [--queue-cap Q]
+  serve    --state DIR [--workers N] [--shards S] [--cache-cap C] [--queue-cap Q]
            [--n UNIQUE] [--repeat R] [--k N] [--threshold T]
            [--policy greedy|random|by-estimate|max-uncertainty]
            [--trace] [--trace-dump PATH]
@@ -45,6 +45,7 @@ struct Opts {
     threshold: f64,
     policy: String,
     workers: usize,
+    shards: usize,
     cache_cap: usize,
     queue_cap: usize,
     repeat: usize,
@@ -68,6 +69,7 @@ impl Default for Opts {
             threshold: 0.9,
             policy: "greedy".to_string(),
             workers: 4,
+            shards: 1,
             cache_cap: 1024,
             queue_cap: 64,
             repeat: 4,
@@ -110,6 +112,7 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), Strin
             "--workers" => {
                 opts.workers = value()?.parse().map_err(|e| format!("bad workers: {e}"))?
             }
+            "--shards" => opts.shards = value()?.parse().map_err(|e| format!("bad shards: {e}"))?,
             "--cache-cap" => {
                 opts.cache_cap = value()?
                     .parse()
@@ -162,6 +165,7 @@ fn main() -> ExitCode {
         "serve" => commands::run_serve(
             &state,
             opts.workers,
+            opts.shards,
             opts.cache_cap,
             opts.queue_cap,
             opts.n,

@@ -22,6 +22,9 @@
 //! 6. **The metasearcher facade** ([`metasearcher`], [`fusion`]) —
 //!    train-then-serve pipeline with certainty-controlled selection and
 //!    result fusion.
+//! 7. **The shard layer** ([`shard`]) — scatter-gather selection over a
+//!    partitioned fleet, bit-identical to the unsharded engine for
+//!    every topology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ pub mod query_type;
 pub mod rd;
 pub mod relevancy;
 pub mod selection;
+pub mod shard;
 
 pub use config::CoreConfig;
 pub use correctness::{absolute_correctness, partial_correctness, rank_order, CorrectnessMetric};
@@ -54,3 +58,4 @@ pub use probing::{apro, AproConfig, AproOutcome, GreedyPolicy, ProbePolicy};
 pub use query_type::QueryType;
 pub use relevancy::RelevancyDef;
 pub use selection::{baseline_select, best_set, rd_based_select};
+pub use shard::{Shard, ShardAssignment, ShardPlan, ShardScatter, ShardedMetasearcher};

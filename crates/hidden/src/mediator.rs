@@ -74,6 +74,17 @@ impl Mediator {
         self.dbs.iter().map(|d| d.name()).collect()
     }
 
+    /// The largest advertised database size, in documents — the warm
+    /// target for retrieval scratch pools. Databases hiding their size
+    /// contribute nothing; an all-hidden fleet warms to 0 (lazy growth).
+    pub fn max_size_hint(&self) -> usize {
+        self.dbs
+            .iter()
+            .filter_map(|d| d.size_hint())
+            .max()
+            .unwrap_or(0) as usize
+    }
+
     /// Total probes served across all databases since the last reset.
     pub fn total_probes(&self) -> u64 {
         self.dbs.iter().map(|d| d.probe_count()).sum()
@@ -139,6 +150,12 @@ mod tests {
         assert_eq!(m.total_probes(), 3);
         m.reset_probes();
         assert_eq!(m.total_probes(), 0);
+    }
+
+    #[test]
+    fn max_size_hint_spans_the_fleet() {
+        let m = mediator();
+        assert_eq!(m.max_size_hint(), 20);
     }
 
     #[test]

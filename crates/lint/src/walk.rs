@@ -100,11 +100,15 @@ pub fn classify(rel: &str) -> FileClass {
                 || (*krate == "serve" && rest == ["pool.rs"]);
             // The modules a cold serve request traverses per probe: the
             // PR-6 de-contention audit holds them lock-free by default.
+            // The shard layer joined the set when serving grew a
+            // partitioned backend — scatter/gather runs on the same
+            // cold path, so it is held to the same no-lock standard.
             class.l9_hot_path = (*krate == "serve"
                 && matches!(
                     rest,
                     ["server.rs" | "stats.rs" | "cache.rs" | "queue.rs" | "pool.rs"]
                 ))
+                || (*krate == "core" && rest == ["shard.rs"])
                 || (*krate == "hidden" && matches!(rest, ["db.rs" | "unreliable.rs"]));
             class.l11_relaxed_ok = RELAXED_COUNTER_MODULES.contains(&rel);
             class.l13_deterministic = DETERMINISTIC_CRATES.contains(krate);
@@ -159,6 +163,9 @@ mod tests {
         assert!(classify("crates/serve/src/pool.rs").l9_hot_path);
         assert!(classify("crates/hidden/src/db.rs").l9_hot_path);
         assert!(classify("crates/hidden/src/unreliable.rs").l9_hot_path);
+        assert!(classify("crates/core/src/shard.rs").l9_hot_path);
+        assert!(classify("crates/core/src/shard.rs").l13_deterministic);
+        assert!(!classify("crates/core/src/metasearcher.rs").l9_hot_path);
         assert!(!classify("crates/serve/src/lib.rs").l9_hot_path);
         assert!(!classify("crates/hidden/src/mediator.rs").l9_hot_path);
         assert!(!classify("crates/obs/src/registry.rs").l9_hot_path);

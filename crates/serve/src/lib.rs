@@ -54,7 +54,7 @@ mod stats;
 pub use cache::{CacheOutcome, LruCache, ShardedCache};
 pub use queue::{BoundedQueue, TryPushError};
 pub use server::{
-    CacheKey, CacheStatus, Client, PolicySpec, ServeConfig, ServeError, ServeRequest,
+    Backend, CacheKey, CacheStatus, Client, PolicySpec, ServeConfig, ServeError, ServeRequest,
     ServeResponse, Server, Ticket,
 };
 pub use stats::ServeStats;

@@ -1,0 +1,294 @@
+//! Served-vs-sequential twin replay across the shards × workers
+//! matrix.
+//!
+//! The shard layer's equivalence contract (`mp-core`'s
+//! `shard_equivalence` suite) proves the sharded engine replays the
+//! flat engine bit-for-bit *in isolation*; this suite proves the
+//! serving tier preserves that through queues, worker pools, and
+//! caches. For shards ∈ {1, 2, 3, 8} × workers ∈ {1, 4}:
+//!
+//! * every served response's [`MetasearchResult`] equals the sequential
+//!   flat twin's direct `search` answer exactly (`PartialEq` compares
+//!   probe traces, certainties, and fused scores bit-for-bit);
+//! * probe accounting — per-database counters *and* the injection
+//!   layer's [`ProbeBudget`]s (attempts / retries / failures /
+//!   outages) — matches the sequential twin exactly.
+//!
+//! Twin stacks keep the comparison honest: the served fleet and the
+//! sequential fleet are separate database instances built from
+//! identical deterministic inputs, so counters never cross-contaminate.
+
+use std::sync::Arc;
+
+use mp_core::{
+    AproConfig, CoreConfig, CorrectnessMetric, EdLibrary, IndependenceEstimator, Metasearcher,
+    RelevancyDef, ShardAssignment, ShardedMetasearcher,
+};
+use mp_corpus::{Scenario, ScenarioConfig, ScenarioKind};
+use mp_hidden::{
+    ContentSummary, HiddenWebDatabase, Mediator, ProbeBudget, SimulatedHiddenDb, UnreliableDb,
+};
+use mp_serve::{Backend, ServeConfig, ServeRequest, Server, Ticket};
+use mp_workload::{Query, QueryGenConfig, TrainTestSplit};
+
+const K: usize = 1;
+const THRESHOLD: f64 = 0.9;
+const FUSE_LIMIT: usize = 10;
+const FAILURE_RATE: f64 = 0.3;
+const NOISE_RATE: f64 = 0.2;
+const NOISE_SPAN: f64 = 0.2;
+const RETRIES: u32 = 2;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+const WORKER_COUNTS: [usize; 2] = [1, 4];
+
+struct Fixture {
+    /// `(name, index)` per database — each twin stack instantiates its
+    /// *own* `SimulatedHiddenDb`s from these, so even the inner probe
+    /// counters never cross-contaminate between twins.
+    parts: Vec<(String, mp_index::InvertedIndex)>,
+    summaries: Vec<ContentSummary>,
+    library: EdLibrary,
+    queries: Vec<Query>,
+}
+
+/// Clean substrate, flaky twins per stack (the retry-budget pattern):
+/// the library is trained on reliable databases, and each twin wraps
+/// *its own* `UnreliableDb`s so the counter-keyed injection RNG replays
+/// from the same point on both sides.
+fn fixture() -> Fixture {
+    let scenario = Scenario::generate(ScenarioConfig::tiny(ScenarioKind::Health, 33));
+    let (model, raw_parts) = scenario.into_parts();
+    let mut parts = Vec::new();
+    let mut summaries = Vec::new();
+    for (spec, index) in raw_parts {
+        summaries.push(ContentSummary::cooperative(&index));
+        parts.push((spec.name, index));
+    }
+    let split = TrainTestSplit::generate(
+        &model,
+        60,
+        40,
+        QueryGenConfig {
+            window: 12,
+            seed: 33 ^ 0xFEED,
+            ..QueryGenConfig::default()
+        },
+    );
+    let clean_dbs: Vec<Arc<dyn HiddenWebDatabase>> = parts
+        .iter()
+        .map(|(name, index)| {
+            Arc::new(SimulatedHiddenDb::new(name.clone(), index.clone()))
+                as Arc<dyn HiddenWebDatabase>
+        })
+        .collect();
+    let clean = Mediator::new(clean_dbs, summaries.clone());
+    let config = CoreConfig::default().with_threshold(10.0);
+    let library = EdLibrary::train(
+        &clean,
+        &IndependenceEstimator,
+        RelevancyDef::DocFrequency,
+        split.train.queries(),
+        &config,
+    );
+    clean.reset_probes();
+    let queries = split.test.queries().iter().take(12).cloned().collect();
+    Fixture {
+        parts,
+        summaries,
+        library,
+        queries,
+    }
+}
+
+/// One independent flaky stack: concrete wrapper handles (for budget
+/// reads) plus the mediator over them.
+fn flaky_stack(fx: &Fixture) -> (Vec<Arc<UnreliableDb>>, Mediator) {
+    let handles: Vec<Arc<UnreliableDb>> = fx
+        .parts
+        .iter()
+        .enumerate()
+        .map(|(i, (name, index))| {
+            let base: Arc<dyn HiddenWebDatabase> =
+                Arc::new(SimulatedHiddenDb::new(name.clone(), index.clone()));
+            Arc::new(
+                UnreliableDb::new(base, FAILURE_RATE, NOISE_RATE, NOISE_SPAN, 1_000 + i as u64)
+                    .with_retries(RETRIES),
+            )
+        })
+        .collect();
+    let dbs: Vec<Arc<dyn HiddenWebDatabase>> = handles
+        .iter()
+        .map(|h| Arc::clone(h) as Arc<dyn HiddenWebDatabase>)
+        .collect();
+    (handles, Mediator::new(dbs, fx.summaries.clone()))
+}
+
+fn accounting(handles: &[Arc<UnreliableDb>]) -> Vec<(u64, ProbeBudget)> {
+    handles
+        .iter()
+        .map(|h| (h.probe_count(), h.budget()))
+        .collect()
+}
+
+fn request(q: &Query) -> ServeRequest {
+    ServeRequest::new(q.clone(), K, THRESHOLD)
+}
+
+fn apro_config() -> AproConfig {
+    AproConfig {
+        k: K,
+        threshold: THRESHOLD,
+        metric: CorrectnessMetric::Partial,
+        max_probes: None,
+    }
+}
+
+/// The sequential flat baseline: its own twin stack, searched directly
+/// in stream order. Returns the results plus the stack's accounting.
+fn sequential_baseline(fx: &Fixture) -> (Vec<mp_core::MetasearchResult>, Vec<(u64, ProbeBudget)>) {
+    let (handles, mediator) = flaky_stack(fx);
+    let ms = Metasearcher::with_library(
+        mediator,
+        Box::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        fx.library.clone(),
+    );
+    let results = fx
+        .queries
+        .iter()
+        .map(|q| {
+            let mut policy = mp_core::GreedyPolicy;
+            ms.search(q, apro_config(), &mut policy, FUSE_LIMIT)
+        })
+        .collect();
+    (results, accounting(&handles))
+}
+
+/// One served session over a sharded twin stack at the given topology,
+/// submit-all-then-wait (any interleaving must still replay exactly).
+fn served_sharded(
+    fx: &Fixture,
+    shards: usize,
+    workers: usize,
+    cache_cap: usize,
+) -> (Vec<mp_core::MetasearchResult>, Vec<(u64, ProbeBudget)>) {
+    let (handles, mediator) = flaky_stack(fx);
+    let sharded = ShardedMetasearcher::with_library(
+        &mediator,
+        Arc::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        &fx.library,
+        &ShardAssignment::RoundRobin(shards),
+    )
+    .shared();
+    let server = Server::new_sharded(sharded, ServeConfig::new(workers, cache_cap));
+    let results = server.run(|client| {
+        let tickets: Vec<_> = fx
+            .queries
+            .iter()
+            .map(|q| client.submit(request(q)))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait).expect("request served").result)
+            .collect::<Vec<_>>()
+    });
+    (results, accounting(&handles))
+}
+
+#[test]
+fn sharded_serving_replays_sequential_flat_twin_exactly() {
+    let fx = fixture();
+    let (baseline, base_accounting) = sequential_baseline(&fx);
+    for shards in SHARD_COUNTS {
+        for workers in WORKER_COUNTS {
+            // Cache off: every request computes, so probe accounting is
+            // comparable request-for-request with the sequential twin.
+            let (served, served_accounting) = served_sharded(&fx, shards, workers, 0);
+            assert_eq!(
+                served, baseline,
+                "served results diverged at {shards} shards × {workers} workers"
+            );
+            assert_eq!(
+                served_accounting, base_accounting,
+                "probe accounting diverged at {shards} shards × {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn caching_layers_stay_transparent_over_sharded_backends() {
+    let fx = fixture();
+    let (baseline, _) = sequential_baseline(&fx);
+    // Cache on, and the whole stream submitted twice: hits, misses, and
+    // dedup joins must all hand back the identical value.
+    let (handles, mediator) = flaky_stack(&fx);
+    let sharded = ShardedMetasearcher::with_library(
+        &mediator,
+        Arc::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        &fx.library,
+        &ShardAssignment::RoundRobin(3),
+    )
+    .shared();
+    let server = Server::new_sharded(Arc::clone(&sharded), ServeConfig::new(4, 256));
+    let twice: Vec<mp_core::MetasearchResult> = server.run(|client| {
+        let tickets: Vec<_> = fx
+            .queries
+            .iter()
+            .chain(fx.queries.iter())
+            .map(|q| client.submit(request(q)))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait).expect("request served").result)
+            .collect()
+    });
+    assert_eq!(&twice[..fx.queries.len()], &baseline[..]);
+    assert_eq!(&twice[fx.queries.len()..], &baseline[..]);
+    // A fully cached second pass computes nothing new: the fleet served
+    // each unique request's probes at most once.
+    let total: u64 = handles.iter().map(|h| h.probe_count()).sum();
+    assert_eq!(total, sharded.total_probes());
+}
+
+/// Regression pin for the pool's scratch-warming fix: the warm target
+/// is computed by the backend and spans every shard, not whichever
+/// single mediator the server happened to hold. A fleet whose largest
+/// database lands in the *last* shard must still warm to its size.
+#[test]
+fn warm_target_spans_all_shards() {
+    let fx = fixture();
+    let (_, mediator) = flaky_stack(&fx);
+    let flat = Metasearcher::with_library(
+        mediator.clone(),
+        Box::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        fx.library.clone(),
+    )
+    .shared();
+    let flat_backend = Backend::Flat(Arc::clone(&flat));
+    let flat_warm = flat_backend.max_size_hint();
+    assert!(flat_warm > 0, "fixture databases advertise their sizes");
+
+    // Every partition — including all-singleton, where the largest
+    // database is alone in its own shard — warms to the same target.
+    for shards in SHARD_COUNTS {
+        let sharded = ShardedMetasearcher::with_library(
+            &mediator,
+            Arc::new(IndependenceEstimator),
+            RelevancyDef::DocFrequency,
+            &fx.library,
+            &ShardAssignment::RoundRobin(shards),
+        );
+        let backend = Backend::Sharded(sharded.shared());
+        assert_eq!(
+            backend.max_size_hint(),
+            flat_warm,
+            "sharded warm target diverged at {shards} shards"
+        );
+        assert_eq!(backend.n_databases(), fx.parts.len());
+    }
+}

@@ -264,32 +264,7 @@ fn golden_pin_of_three_representative_queries() {
             &mut policy,
             5,
         );
-        rendered.push_str(&format!(
-            "query {qi} terms={:?}\n",
-            query.terms().iter().map(|t| t.0).collect::<Vec<_>>()
-        ));
-        rendered.push_str(&format!(
-            "  selected={:?} expected={:016x} satisfied={}\n",
-            result.outcome.selected,
-            result.outcome.expected.to_bits(),
-            result.outcome.satisfied
-        ));
-        for p in &result.outcome.probes {
-            rendered.push_str(&format!(
-                "  probe db={} actual={:016x} after={:016x}\n",
-                p.db,
-                p.actual.to_bits(),
-                p.expected_after.to_bits()
-            ));
-        }
-        for h in &result.hits {
-            rendered.push_str(&format!(
-                "  hit db={} doc={} score={:016x}\n",
-                h.db,
-                h.doc.0,
-                h.score.to_bits()
-            ));
-        }
+        render_golden(&mut rendered, qi, query, &result);
     }
 
     let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -310,6 +285,109 @@ fn golden_pin_of_three_representative_queries() {
         rendered, expected,
         "end-to-end results drifted from the golden snapshot \
          (re-bless with MP_BLESS=1 if the change is intended)"
+    );
+}
+
+/// Renders the golden-pin lines for one search answer (shared by the
+/// flat and sharded pins so the two snapshots are byte-comparable).
+fn render_golden(
+    rendered: &mut String,
+    qi: usize,
+    query: &Query,
+    result: &mp_core::MetasearchResult,
+) {
+    rendered.push_str(&format!(
+        "query {qi} terms={:?}\n",
+        query.terms().iter().map(|t| t.0).collect::<Vec<_>>()
+    ));
+    rendered.push_str(&format!(
+        "  selected={:?} expected={:016x} satisfied={}\n",
+        result.outcome.selected,
+        result.outcome.expected.to_bits(),
+        result.outcome.satisfied
+    ));
+    for p in &result.outcome.probes {
+        rendered.push_str(&format!(
+            "  probe db={} actual={:016x} after={:016x}\n",
+            p.db,
+            p.actual.to_bits(),
+            p.expected_after.to_bits()
+        ));
+    }
+    for h in &result.hits {
+        rendered.push_str(&format!(
+            "  hit db={} doc={} score={:016x}\n",
+            h.db,
+            h.doc.0,
+            h.score.to_bits()
+        ));
+    }
+}
+
+/// Sharded golden pin: the same three representative queries answered
+/// through the scatter-gather shard layer (3 shards, FNV-keyed), with
+/// its own snapshot fixture — which must *also* be byte-identical to
+/// the flat pin's fixture, making the cross-topology equivalence
+/// visible at the golden-artifact level. Regenerate deliberately with:
+///
+/// ```text
+/// MP_BLESS=1 cargo test --test end_to_end golden_pin
+/// ```
+#[test]
+fn golden_pin_sharded_replays_the_flat_snapshot() {
+    use mp_core::{ShardAssignment, ShardedMetasearcher};
+
+    let (ms, split, _model) = build_metasearcher(5);
+    let sharded = ShardedMetasearcher::with_library(
+        ms.mediator(),
+        Arc::new(IndependenceEstimator),
+        RelevancyDef::DocFrequency,
+        ms.library(),
+        &ShardAssignment::ByNameFnv(3),
+    );
+    let mut rendered = String::new();
+    for &qi in &[0usize, 7, 19] {
+        let query = &split.test.queries()[qi];
+        let mut policy = GreedyPolicy;
+        let result = sharded.search(
+            query,
+            AproConfig {
+                k: 2,
+                threshold: 0.9,
+                metric: CorrectnessMetric::Partial,
+                max_probes: None,
+            },
+            &mut policy,
+            5,
+        );
+        render_golden(&mut rendered, qi, query, &result);
+    }
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let fixture = dir.join("end_to_end_golden_sharded.txt");
+    if std::env::var_os("MP_BLESS").is_some() {
+        std::fs::create_dir_all(&dir).expect("fixture directory is creatable");
+        std::fs::write(&fixture, &rendered).expect("fixture file is writable");
+        return;
+    }
+    let expected = std::fs::read_to_string(&fixture).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {} — run with MP_BLESS=1 to create it",
+            fixture.display()
+        )
+    });
+    assert_eq!(
+        rendered, expected,
+        "sharded end-to-end results drifted from the golden snapshot \
+         (re-bless with MP_BLESS=1 if the change is intended)"
+    );
+    // Cross-topology at the artifact level: the sharded snapshot is
+    // byte-identical to the flat pin's snapshot.
+    let flat = std::fs::read_to_string(dir.join("end_to_end_golden.txt"))
+        .expect("flat golden snapshot exists");
+    assert_eq!(
+        rendered, flat,
+        "sharded golden snapshot diverged from the flat golden snapshot"
     );
 }
 
