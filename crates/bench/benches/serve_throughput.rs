@@ -42,19 +42,29 @@
 //! cross-worker hot path this PR de-locked, and CI uploads the file as
 //! an artifact for regression archaeology.
 //!
+//! An **open-loop batched/shed matrix** (`ISSUE` PR 10) rides behind
+//! the closed-loop rows: a Zipf-skewed arrival schedule from
+//! `mp_workload::openloop` floods the server faster than it completes,
+//! and cache-off rows compare batch window 1 vs 8 across 1 and 4
+//! workers. The guard here is **batched cold throughput ≥ 1.3× the
+//! unbatched single-worker row** — the term-sharing kernel must pay
+//! for itself in exactly the duplicate-heavy regime the skew creates —
+//! and a fifth row runs the SLO scheduler (tight deadlines + shed
+//! limit) to record the shed rate under overload.
+//!
 //! The report is merged into the `serve_throughput` section of
 //! `BENCH_apro.json` at the repository root; the `apro_scaling` and
 //! `retrieval_kernel` benches own the file's other sections.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mp_core::{
     IndependenceEstimator, Metasearcher, RelevancyDef, ShardAssignment, ShardedMetasearcher,
 };
 use mp_eval::{Testbed, TestbedConfig};
 use mp_serve::{Backend, ServeConfig, ServeRequest, Server};
-use mp_workload::Query;
+use mp_workload::{OpenLoopConfig, Query};
 use serde::Serialize;
 
 const SEED: u64 = 41;
@@ -63,6 +73,14 @@ const REPEATS: usize = 8;
 const K: usize = 2;
 const THRESHOLD: f64 = 0.85;
 const RUNS: usize = 5;
+
+/// The open-loop (batched/shed) matrix: arrivals per run and the Zipf
+/// skew of the hot-key distribution. The skew is what gives batches
+/// their term overlap — `s = 1.2` makes a handful of queries dominate,
+/// the regime the term-sharing kernel is built for.
+const OPEN_LOOP_ARRIVALS: usize = 400;
+const ZIPF_S: f64 = 1.2;
+const BATCH_RUNS: usize = 3;
 
 /// One cell of the feature matrix, measured over `RUNS` fresh servers.
 #[derive(Serialize)]
@@ -100,6 +118,152 @@ struct ScenarioReport {
     hits: u64,
     misses: u64,
     dedup_joins: u64,
+}
+
+/// One row of the open-loop batched/shed matrix. These rows run with
+/// the result cache **off** (every skewed duplicate is a cold miss —
+/// the regime where term-sharing batches matter) but the RD cache
+/// **on** (RD derivation is shared identically in both configurations,
+/// so the window-1 vs window-8 comparison isolates the batched
+/// scoring kernel).
+#[derive(Serialize)]
+struct BatchScenarioReport {
+    workers: usize,
+    batch_window: usize,
+    shed_p99_ms: Option<u64>,
+    /// Per-request deadline in milliseconds (0 ≙ no deadline — the
+    /// throughput rows run deadline-free so nothing sheds).
+    deadline_ms: u64,
+    arrivals: usize,
+    zipf_s: f64,
+    runs: usize,
+    /// Median wall nanoseconds for the whole schedule.
+    wall_ns: f64,
+    /// Completed requests per second at the median.
+    qps: f64,
+    completed: u64,
+    sheds: u64,
+    deadline_misses: u64,
+    /// `sheds / arrivals` from the last measured run — the shed-rate
+    /// row the SLO scheduler's acceptance asks for.
+    shed_rate: f64,
+    batches: u64,
+    batched_requests: u64,
+}
+
+/// The deterministic Zipf-skewed open-loop schedule, materialized as
+/// `(arrival µs, request)` pairs over the testbed's unique query pool.
+fn open_loop_requests(queries: &[Query], deadline: Option<Duration>) -> Vec<(u64, ServeRequest)> {
+    let schedule = mp_workload::arrivals(&OpenLoopConfig {
+        // Far above the server's completion rate: open-loop overload,
+        // so backlog (and with it batching opportunity) is sustained.
+        rate_per_sec: 2_000_000.0,
+        jitter: 0.5,
+        n_arrivals: OPEN_LOOP_ARRIVALS,
+        n_unique: queries.len(),
+        zipf_s: ZIPF_S,
+        seed: SEED,
+    });
+    schedule
+        .iter()
+        .map(|a| {
+            let mut req = ServeRequest::new(queries[a.query_index].clone(), K, THRESHOLD);
+            if let Some(d) = deadline {
+                req = req.with_deadline(d);
+            }
+            (a.at_us, req)
+        })
+        .collect()
+}
+
+/// Runs one open-loop row `BATCH_RUNS` times on fresh servers. The
+/// driver paces submissions to the schedule's arrival instants (the
+/// schedule is faster than the server, so in practice it floods — the
+/// point of an open-loop workload) and waits for every ticket at the
+/// end; queue back-pressure is the only throttle.
+fn run_batch_scenario(
+    ms: &Arc<Metasearcher>,
+    paced: &[(u64, ServeRequest)],
+    workers: usize,
+    batch_window: usize,
+    shed_p99_ms: Option<u64>,
+    deadline_ms: u64,
+) -> BatchScenarioReport {
+    let mut walls = Vec::with_capacity(BATCH_RUNS);
+    let mut last_stats = None;
+    for measured in [false, true, true, true] {
+        let config = ServeConfig {
+            cache_cap: 0,       // every arrival computes: cold-path rows
+            rd_cache_cap: 1024, // RD derivation shared in both configs
+            ..ServeConfig::new(workers, 0)
+        }
+        .with_batch_window(batch_window)
+        .with_shed_p99_ms(shed_p99_ms);
+        let server = Server::new(Arc::clone(ms), config);
+        let t = Instant::now();
+        server.run(|client| {
+            let start = Instant::now();
+            let tickets: Vec<_> = paced
+                .iter()
+                .map(|(at_us, req)| {
+                    let target = Duration::from_micros(*at_us);
+                    while start.elapsed() < target {
+                        std::hint::spin_loop();
+                    }
+                    client.submit(req.clone())
+                })
+                .collect();
+            for ticket in tickets {
+                // Sheds and deadline misses are expected outcomes on
+                // the SLO rows, not failures.
+                match ticket.and_then(mp_serve::Ticket::wait) {
+                    Ok(resp) => {
+                        criterion::black_box(resp);
+                    }
+                    Err(e) => {
+                        criterion::black_box(e);
+                    }
+                }
+            }
+        });
+        let wall = t.elapsed().as_nanos() as f64;
+        if measured {
+            walls.push(wall);
+            last_stats = Some(server.stats());
+        }
+    }
+    let (_, wall_ns, _, _) = criterion::summarize(&walls);
+    let stats = last_stats.expect("at least one measured run");
+    let qps = stats.completed as f64 / (wall_ns / 1e9);
+    let shed_rate = stats.sheds as f64 / paced.len() as f64;
+    eprintln!(
+        "serve_throughput open-loop workers={workers} window={batch_window} \
+         shed_p99_ms={shed_p99_ms:?}: {:.1} ms/schedule, {qps:.0} q/s \
+         (completed {} sheds {} deadline_misses {} batches {} batched_requests {})",
+        wall_ns / 1e6,
+        stats.completed,
+        stats.sheds,
+        stats.deadline_misses,
+        stats.batches,
+        stats.batched_requests
+    );
+    BatchScenarioReport {
+        workers,
+        batch_window,
+        shed_p99_ms,
+        deadline_ms,
+        arrivals: paced.len(),
+        zipf_s: ZIPF_S,
+        runs: BATCH_RUNS,
+        wall_ns,
+        qps,
+        completed: stats.completed,
+        sheds: stats.sheds,
+        deadline_misses: stats.deadline_misses,
+        shed_rate,
+        batches: stats.batches,
+        batched_requests: stats.batched_requests,
+    }
 }
 
 /// Windowed tail-latency numbers from one cached pass-by-pass run: the
@@ -141,6 +305,13 @@ struct ThroughputReport {
     /// `qps(4 workers, cache on) / qps(1 worker, cache off)` — the
     /// acceptance number (must be ≥ 2).
     speedup_vs_cold_baseline: f64,
+    /// The open-loop batched/shed matrix: Zipf-skewed arrivals, cache
+    /// off, batch window 1 vs 8, plus an SLO-shed row.
+    open_loop: Vec<BatchScenarioReport>,
+    /// `qps(window 8) / qps(window 1)` on the single-worker cold
+    /// open-loop rows — the term-sharing acceptance number (must be
+    /// ≥ 1.3 under the skewed workload).
+    batched_cold_speedup: f64,
 }
 
 fn shared_metasearcher(tb: &Testbed) -> Arc<Metasearcher> {
@@ -427,6 +598,53 @@ fn main() {
         "acceptance: cached serving must be >= 2x the cold baseline, got {speedup:.2}x"
     );
 
+    // Open-loop batched/shed matrix. Recording is enabled so the SLO
+    // row's rolling p99 (obs-gated) sees real latencies; the window-1
+    // and window-8 rows carry the same recording overhead, so the
+    // batched-vs-unbatched comparison stays apples-to-apples.
+    mp_obs::set_enabled(true);
+    let open = open_loop_requests(&queries, None);
+    let open_deadlined = open_loop_requests(&queries, Some(Duration::from_millis(30)));
+    let open_loop = vec![
+        run_batch_scenario(&ms, &open, 1, 1, None, 0),
+        run_batch_scenario(&ms, &open, 1, 8, None, 0),
+        run_batch_scenario(&ms, &open, 4, 1, None, 0),
+        run_batch_scenario(&ms, &open, 4, 8, None, 0),
+        run_batch_scenario(&ms, &open_deadlined, 4, 8, Some(1), 30),
+    ];
+
+    // Term-sharing acceptance guard: under the skewed open-loop
+    // workload, batched cold execution must clear ≥ 1.3× the
+    // unbatched single-worker cold throughput. A fall below means the
+    // batch kernel stopped sharing traversals (or batch formation
+    // broke) — the perf contract of this matrix.
+    let unbatched = open_loop
+        .iter()
+        .find(|s| s.workers == 1 && s.batch_window == 1)
+        .expect("unbatched open-loop row present");
+    let batched = open_loop
+        .iter()
+        .find(|s| s.workers == 1 && s.batch_window == 8)
+        .expect("batched open-loop row present");
+    let batched_cold_speedup = batched.qps / unbatched.qps;
+    eprintln!(
+        "serve_throughput batched cold speedup (window 8 vs 1, 1 worker): \
+         {batched_cold_speedup:.2}x"
+    );
+    assert!(
+        batched_cold_speedup >= 1.3,
+        "acceptance: batched cold serving must be >= 1.3x unbatched under the skewed \
+         open-loop workload, got {batched_cold_speedup:.2}x"
+    );
+    let shed_row = open_loop
+        .iter()
+        .find(|s| s.shed_p99_ms.is_some())
+        .expect("shed-rate row present");
+    eprintln!(
+        "serve_throughput shed row: rate {:.3} ({} sheds / {} arrivals)",
+        shed_row.shed_rate, shed_row.sheds, shed_row.arrivals
+    );
+
     let report = ThroughputReport {
         bench: "server queries/sec, repeated-query workload".to_string(),
         unique_queries: UNIQUE,
@@ -437,6 +655,8 @@ fn main() {
         scenarios,
         rolling,
         speedup_vs_cold_baseline: speedup,
+        open_loop,
+        batched_cold_speedup,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apro.json");
     mp_bench::merge_bench_json(

@@ -197,6 +197,13 @@ pub fn run_suggest(dir: &Path, n: usize) -> Result<String, StateError> {
 /// `trace_dump` path) every request runs under a per-request trace and
 /// the flight recorder's worst waterfalls are rendered (and dumped as
 /// `mp-obs-trace/1` JSON).
+///
+/// `batch_window > 1` lets each worker drain up to that many queued
+/// requests into one term-sharing batch (bit-identical results, fewer
+/// postings traversals); `shed_p99_ms` arms the SLO scheduler, which
+/// sheds deadlined requests whose slack the rolling p99 would blow.
+/// The scripted stream is deadline-free, so shedding only shows up
+/// when driving the server through code that sets deadlines.
 #[allow(clippy::too_many_arguments)]
 pub fn run_serve(
     dir: &Path,
@@ -204,6 +211,8 @@ pub fn run_serve(
     shards: usize,
     cache_cap: usize,
     queue_cap: usize,
+    batch_window: usize,
+    shed_p99_ms: Option<u64>,
     n_unique: usize,
     repeat: usize,
     k: usize,
@@ -266,6 +275,8 @@ pub fn run_serve(
             queue_cap: queue_cap.max(1),
             ..ServeConfig::new(workers.max(1), cache_cap)
         }
+        .with_batch_window(batch_window.max(1))
+        .with_shed_p99_ms(shed_p99_ms)
         .with_trace(tracing),
     );
 
@@ -307,9 +318,17 @@ pub fn run_serve(
         cache_cap,
     );
     out.push_str(&format!(
-        "ok {}, rejected {}, deadline-missed {}\n",
-        stats.completed, stats.rejects, stats.deadline_misses
+        "ok {}, rejected {}, deadline-missed {}, shed {}\n",
+        stats.completed, stats.rejects, stats.deadline_misses, stats.sheds
     ));
+    if batch_window.max(1) > 1 {
+        out.push_str(&format!(
+            "batching (window {}): {} multi-request batch(es), {} request(s) batched\n",
+            batch_window.max(1),
+            stats.batches,
+            stats.batched_requests
+        ));
+    }
     debug_assert_eq!(errors, 0, "batch submission never rejects");
     out.push_str(&format!(
         "result cache: {} hits, {} misses, {} dedup joins; rd cache: {} hits, {} misses\n",
@@ -429,7 +448,10 @@ mod tests {
         init_tiny(&dir);
         run_train(&dir).unwrap();
 
-        let out = run_serve(&dir, 2, 1, 64, 16, 4, 3, 1, 0.8, "greedy", false, None).unwrap();
+        let out = run_serve(
+            &dir, 2, 1, 64, 16, 1, None, 4, 3, 1, 0.8, "greedy", false, None,
+        )
+        .unwrap();
         assert!(out.contains("served 12 queries (4 unique × 3)"), "{out}");
         assert!(out.contains("1 shard(s)"), "{out}");
         assert!(out.contains("queries/s"), "{out}");
@@ -439,12 +461,28 @@ mod tests {
 
         // Same stream over a partitioned fleet: the scatter-gather
         // backend serves the identical workload shape.
-        let sharded = run_serve(&dir, 2, 3, 64, 16, 4, 3, 1, 0.8, "greedy", false, None).unwrap();
+        let sharded = run_serve(
+            &dir, 2, 3, 64, 16, 1, None, 4, 3, 1, 0.8, "greedy", false, None,
+        )
+        .unwrap();
         assert!(
             sharded.contains("served 12 queries (4 unique × 3)"),
             "{sharded}"
         );
         assert!(sharded.contains("3 shard(s)"), "{sharded}");
+
+        // Batched draining over the same stream: identical workload
+        // shape, plus the batching stats line (batches may be zero if
+        // the workers outpace the driver — the line always prints).
+        let batched = run_serve(
+            &dir, 2, 1, 64, 16, 4, None, 4, 3, 1, 0.8, "greedy", false, None,
+        )
+        .unwrap();
+        assert!(
+            batched.contains("served 12 queries (4 unique × 3)"),
+            "{batched}"
+        );
+        assert!(batched.contains("batching (window 4):"), "{batched}");
 
         let bad = run_serve(
             &dir,
@@ -452,6 +490,8 @@ mod tests {
             1,
             64,
             16,
+            1,
+            None,
             4,
             1,
             1,
@@ -479,6 +519,8 @@ mod tests {
             1,
             64,
             16,
+            1,
+            None,
             3,
             2,
             1,

@@ -17,6 +17,7 @@ commands:
            [--policy greedy|random|by-estimate|max-uncertainty]
   eval     --state DIR [--k N]
   serve    --state DIR [--workers N] [--shards S] [--cache-cap C] [--queue-cap Q]
+           [--batch-window W] [--shed-p99-ms MS]
            [--n UNIQUE] [--repeat R] [--k N] [--threshold T]
            [--policy greedy|random|by-estimate|max-uncertainty]
            [--trace] [--trace-dump PATH]
@@ -25,6 +26,13 @@ observability (any command):
   --obs             print an mp-obs span/metric tree to stderr on exit
   --obs-json PATH   write the mp-obs JSON snapshot to PATH on exit
   (env MP_OBS=0 disables recording entirely)
+
+batching & SLO (serve only):
+  --batch-window W  drain up to W queued requests per worker into one
+                    term-sharing batch (default 1 = per-request)
+  --shed-p99-ms MS  shed deadlined requests when the rolling p99
+                    exceeds MS ms and exceeds their remaining slack
+                    (default off; needs obs recording)
 
 tracing (serve only):
   --trace           collect per-request waterfalls; print the flight
@@ -48,6 +56,8 @@ struct Opts {
     shards: usize,
     cache_cap: usize,
     queue_cap: usize,
+    batch_window: usize,
+    shed_p99_ms: Option<u64>,
     repeat: usize,
     obs: bool,
     obs_json: Option<PathBuf>,
@@ -72,6 +82,8 @@ impl Default for Opts {
             shards: 1,
             cache_cap: 1024,
             queue_cap: 64,
+            batch_window: 1,
+            shed_p99_ms: None,
             repeat: 4,
             obs: false,
             obs_json: None,
@@ -123,6 +135,18 @@ fn parse(mut args: impl Iterator<Item = String>) -> Result<(String, Opts), Strin
                     .parse()
                     .map_err(|e| format!("bad queue cap: {e}"))?
             }
+            "--batch-window" => {
+                opts.batch_window = value()?
+                    .parse()
+                    .map_err(|e| format!("bad batch window: {e}"))?
+            }
+            "--shed-p99-ms" => {
+                opts.shed_p99_ms = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("bad shed p99 limit: {e}"))?,
+                )
+            }
             "--repeat" => opts.repeat = value()?.parse().map_err(|e| format!("bad repeat: {e}"))?,
             "--obs" => opts.obs = true,
             "--obs-json" => opts.obs_json = Some(PathBuf::from(value()?)),
@@ -168,6 +192,8 @@ fn main() -> ExitCode {
             opts.shards,
             opts.cache_cap,
             opts.queue_cap,
+            opts.batch_window,
+            opts.shed_p99_ms,
             opts.n,
             opts.repeat,
             opts.k,

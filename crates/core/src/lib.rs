@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod correctness;
 pub mod ed;
@@ -47,6 +48,7 @@ pub mod relevancy;
 pub mod selection;
 pub mod shard;
 
+pub use batch::BatchQuery;
 pub use config::CoreConfig;
 pub use correctness::{absolute_correctness, partial_correctness, rank_order, CorrectnessMetric};
 pub use ed::{EdLibrary, ErrorDistribution};

@@ -79,6 +79,139 @@ impl AproOutcome {
     }
 }
 
+/// One `APro` run, factored into externally driven steps.
+///
+/// [`apro`] is a straight loop over one session; the batch executor
+/// (`crate::batch`) drives many sessions in lock step, collecting each
+/// round's probe demands so coincident probes against one database can
+/// share a batched search. The factoring changes nothing about any
+/// single run: [`Self::next_probe`] performs exactly the loop head's
+/// threshold/budget checks and policy selection, [`Self::apply`]
+/// exactly the loop body's state update and re-selection, with counter
+/// and trace placement unchanged.
+pub struct AproSession<'s> {
+    state: &'s mut RdState,
+    policy: &'s mut dyn ProbePolicy,
+    config: AproConfig,
+    selected: Vec<usize>,
+    expected: f64,
+    initial_selected: Vec<usize>,
+    initial_expected: f64,
+    probes: Vec<ProbeRecord>,
+    /// The database handed out by `next_probe` and not yet applied.
+    pending: Option<usize>,
+    done: bool,
+}
+
+impl<'s> AproSession<'s> {
+    /// Starts a run: validates the config and evaluates the pure
+    /// RD-based answer (paper Figure 11's initialization).
+    pub fn begin(
+        state: &'s mut RdState,
+        policy: &'s mut dyn ProbePolicy,
+        config: AproConfig,
+    ) -> Self {
+        assert!(config.k >= 1 && config.k <= state.len(), "k out of range");
+        assert!(
+            (0.0..=1.0).contains(&config.threshold),
+            "threshold must be a probability"
+        );
+        mp_obs::counter!("apro.runs").incr();
+        let (initial_selected, initial_expected) = best_set(state.rds(), config.k, config.metric);
+        Self {
+            selected: initial_selected.clone(),
+            expected: initial_expected,
+            initial_selected,
+            initial_expected,
+            probes: Vec::new(),
+            pending: None,
+            done: false,
+            state,
+            policy,
+            config,
+        }
+    }
+
+    /// Selects the next database to probe, or `None` when the run is
+    /// over (threshold met, budget exhausted, or every database
+    /// probed). A returned database **must** be [`Self::apply`]'d
+    /// before the next call.
+    pub fn next_probe(&mut self) -> Option<usize> {
+        assert!(
+            self.pending.is_none(),
+            "apply the previous probe before selecting the next"
+        );
+        if self.done {
+            return None;
+        }
+        if self.expected >= self.config.threshold {
+            self.done = true;
+            return None;
+        }
+        if let Some(max) = self.config.max_probes {
+            if self.probes.len() >= max {
+                self.done = true;
+                return None;
+            }
+        }
+        mp_obs::counter!("apro.iterations").incr();
+        let Some(db) = self
+            .policy
+            .select_db(self.state, self.config.k, self.config.metric)
+        else {
+            self.done = true; // every database probed
+            return None;
+        };
+        // Waterfall breadcrumb: which database the adaptive loop chose
+        // to probe next (a no-op unless a request trace is active).
+        mp_obs::trace_annotate("apro.probe_db", u64::try_from(db).unwrap_or(u64::MAX));
+        self.pending = Some(db);
+        Some(db)
+    }
+
+    /// Lands the probe answer for the database `next_probe` selected:
+    /// collapses its RD and re-evaluates the best set.
+    pub fn apply(&mut self, db: usize, actual: f64) {
+        debug_assert_eq!(
+            self.pending,
+            Some(db),
+            "applied probe must match the selected database"
+        );
+        self.pending = None;
+        self.state.probe(db, actual);
+        let (sel, exp) = best_set(self.state.rds(), self.config.k, self.config.metric);
+        self.selected = sel.clone();
+        self.expected = exp;
+        self.probes.push(ProbeRecord {
+            db,
+            actual,
+            selected_after: sel,
+            expected_after: exp,
+        });
+    }
+
+    /// Probes landed so far.
+    pub fn n_probes(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Closes the run and returns its outcome (records the per-query
+    /// probe histogram exactly where the loop form did).
+    pub fn finish(self) -> AproOutcome {
+        let n_probes = u64::try_from(self.probes.len()).unwrap_or(u64::MAX);
+        mp_obs::histogram!("apro.probes_per_query", mp_obs::bounds::SMALL).record(n_probes);
+        mp_obs::trace_annotate("apro.probes", n_probes);
+        AproOutcome {
+            satisfied: self.expected >= self.config.threshold,
+            selected: self.selected,
+            expected: self.expected,
+            initial_selected: self.initial_selected,
+            initial_expected: self.initial_expected,
+            probes: self.probes,
+        }
+    }
+}
+
 /// Runs `APro` (paper Figure 11).
 ///
 /// * `state` — the per-query RD state (derived from estimates + EDs);
@@ -97,55 +230,13 @@ pub fn apro(
     policy: &mut dyn ProbePolicy,
     probe_fn: &mut dyn FnMut(usize) -> f64,
 ) -> AproOutcome {
-    assert!(config.k >= 1 && config.k <= state.len(), "k out of range");
-    assert!(
-        (0.0..=1.0).contains(&config.threshold),
-        "threshold must be a probability"
-    );
     let _span = mp_obs::span!("apro.run");
-    mp_obs::counter!("apro.runs").incr();
-    let (initial_selected, initial_expected) = best_set(state.rds(), config.k, config.metric);
-    let mut selected = initial_selected.clone();
-    let mut expected = initial_expected;
-    let mut probes = Vec::new();
-
-    while expected < config.threshold {
-        if let Some(max) = config.max_probes {
-            if probes.len() >= max {
-                break;
-            }
-        }
-        mp_obs::counter!("apro.iterations").incr();
-        let Some(db) = policy.select_db(state, config.k, config.metric) else {
-            break; // every database probed
-        };
-        // Waterfall breadcrumb: which database the adaptive loop chose
-        // to probe next (a no-op unless a request trace is active).
-        mp_obs::trace_annotate("apro.probe_db", u64::try_from(db).unwrap_or(u64::MAX));
+    let mut session = AproSession::begin(state, policy, config);
+    while let Some(db) = session.next_probe() {
         let actual = probe_fn(db);
-        state.probe(db, actual);
-        let (sel, exp) = best_set(state.rds(), config.k, config.metric);
-        selected = sel.clone();
-        expected = exp;
-        probes.push(ProbeRecord {
-            db,
-            actual,
-            selected_after: sel,
-            expected_after: exp,
-        });
+        session.apply(db, actual);
     }
-
-    let n_probes = u64::try_from(probes.len()).unwrap_or(u64::MAX);
-    mp_obs::histogram!("apro.probes_per_query", mp_obs::bounds::SMALL).record(n_probes);
-    mp_obs::trace_annotate("apro.probes", n_probes);
-    AproOutcome {
-        satisfied: expected >= config.threshold,
-        selected,
-        expected,
-        initial_selected,
-        initial_expected,
-        probes,
-    }
+    session.finish()
 }
 
 #[cfg(test)]

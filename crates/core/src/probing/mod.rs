@@ -21,7 +21,7 @@ pub mod greedy;
 pub mod optimal;
 pub mod policy;
 
-pub use apro::{apro, AproConfig, AproOutcome, ProbeRecord};
+pub use apro::{apro, AproConfig, AproOutcome, AproSession, ProbeRecord};
 pub use cost::{apro_with_costs, CostAwareGreedyPolicy, ProbeCosts};
 pub use greedy::GreedyPolicy;
 pub use optimal::OptimalPolicy;

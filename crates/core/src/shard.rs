@@ -573,6 +573,26 @@ impl ShardedMetasearcher {
         }
     }
 
+    /// Answers a batch of requests with the lock-step batch executor,
+    /// probes routed to — and counted by — the owning shard. Each
+    /// result is bit-identical to [`Self::search_with_rds`] on that
+    /// request alone (and therefore to the flat engine's).
+    pub fn search_batch_with_rds(
+        &self,
+        items: Vec<crate::batch::BatchQuery<'_>>,
+        fuse_limit: usize,
+    ) -> Vec<MetasearchResult> {
+        for it in &items {
+            assert_eq!(
+                it.rds.len(),
+                self.n_databases(),
+                "RD vector does not cover the partitioned databases"
+            );
+        }
+        let probe_top_n = self.config.probe_top_n;
+        crate::batch::search_batch_impl(&|i| self.db(i), self.def, probe_top_n, fuse_limit, items)
+    }
+
     /// Probes served per shard since the last reset (owning-shard
     /// accounting: a probe of database `g` lands on `shard_of(g)`).
     pub fn shard_probes(&self) -> Vec<u64> {

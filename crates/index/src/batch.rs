@@ -1,0 +1,274 @@
+//! Batched cosine scoring: one traversal per shared postings list.
+//!
+//! [`InvertedIndex::cosine_topk_batch`] scores a batch of queries in a
+//! single pass over the *union* of their postings lists. The outer loop
+//! walks the union's terms in ascending id order, the middle loop walks
+//! that term's postings once, and the inner loop scatters each
+//! posting's contribution into the accumulator row of every request
+//! using the term. For any fixed request, contributions therefore
+//! arrive in exactly the order the dense per-query kernel delivers them
+//! (ascending term id, postings in list order), so every accumulated
+//! dot product — and every score — is **bit-identical** to
+//! [`InvertedIndex::cosine_topk`] on the same query
+//! (`tests/batch_equivalence.rs` pins this by proptest).
+//!
+//! Requests sharing no term with the rest of the batch gain nothing
+//! from a shared traversal, so they fall back to the per-query dispatch
+//! — which keeps exact max-score pruning for them — while overlapping
+//! groups take the shared dense path. Both per-query kernels are
+//! already pinned bit-identical to each other, so the grouping policy
+//! is purely a performance decision: outputs are invariant under any
+//! partition of the batch.
+
+use crate::index::InvertedIndex;
+use crate::scratch::{self, BatchRow, Scratch};
+use crate::types::{DocId, ScoredDoc};
+use mp_text::TermId;
+use std::collections::HashMap;
+
+impl InvertedIndex {
+    /// Scores every query in `queries`, sharing one postings traversal
+    /// per term across the requests that use it. Returns one top-`k`
+    /// ranking per query, each bit-identical to
+    /// [`Self::cosine_topk`] on that query alone.
+    pub fn cosine_topk_batch(&self, queries: &[&[TermId]], k: usize) -> Vec<Vec<ScoredDoc>> {
+        let mut results: Vec<Vec<ScoredDoc>> = vec![Vec::new(); queries.len()];
+        if k == 0 {
+            return results;
+        }
+        for group in term_overlap_groups(queries) {
+            if group.len() == 1 {
+                // Singleton: the per-query dispatch (dense or exact
+                // max-score pruned) serves it; no sharing to exploit.
+                let qi = group[0];
+                results[qi] = self.cosine_topk(queries[qi], k);
+            } else {
+                self.topk_dense_shared(&group, queries, k, &mut results);
+            }
+        }
+        results
+    }
+
+    /// The shared-traversal dense kernel over one term-overlap group
+    /// (≥ 2 members). Writes each member's ranking into `results`.
+    fn topk_dense_shared(
+        &self,
+        members: &[usize],
+        queries: &[&[TermId]],
+        k: usize,
+        results: &mut [Vec<ScoredDoc>],
+    ) {
+        debug_assert!(members.len() >= 2, "singletons take the per-query path");
+        mp_obs::counter!("index.batch_groups").incr();
+        mp_obs::counter!("index.queries_batched").add(u64::try_from(members.len()).unwrap_or(0));
+        scratch::with_scratch(|s| {
+            if s.batch_rows.len() < members.len() {
+                s.batch_rows.resize_with(members.len(), BatchRow::default);
+            }
+            // Prepare each member's query into its private row. The
+            // shared `Scratch` query tables are scribbled over per
+            // member, so the row copies what the traversal needs.
+            for (slot, &qi) in members.iter().enumerate() {
+                let qnorm = self.prepare_query(queries[qi], s);
+                let Scratch {
+                    ref mut batch_rows,
+                    ref qtf,
+                    ref wq,
+                    ref idf,
+                    ..
+                } = *s;
+                let row = &mut batch_rows[slot];
+                row.qnorm = qnorm;
+                row.qtf.clear();
+                row.qtf.extend_from_slice(qtf);
+                row.wq.clear();
+                row.wq.extend_from_slice(wq);
+                row.idf.clear();
+                row.idf.extend_from_slice(idf);
+                row.ensure_doc_capacity(self.doc_count as usize);
+                row.touched.clear();
+            }
+            // (term, row, qtf entry) users of every union term, sorted
+            // ascending by term id. Requests with a zero query norm are
+            // excluded entirely: the per-query kernel returns before
+            // touching the index for them, and scattering their (all
+            // zero-weight) contributions would diverge from it.
+            let mut users: Vec<(u32, u32, u32)> = Vec::new();
+            for (slot, row) in s.batch_rows[..members.len()].iter().enumerate() {
+                if mp_stats::float::exact_zero(row.qnorm) {
+                    continue;
+                }
+                for (j, &(t, _)) in row.qtf.iter().enumerate() {
+                    users.push((
+                        t,
+                        u32::try_from(slot).expect("batch sizes fit u32"),
+                        u32::try_from(j).expect("query terms fit u32 by construction"),
+                    ));
+                }
+            }
+            users.sort_unstable();
+            // Shared traversal: each union postings list is walked once,
+            // fanning every posting out to the term's users.
+            let mut start = 0usize;
+            while start < users.len() {
+                let term = users[start].0;
+                let mut end = start;
+                while end < users.len() && users[end].0 == term {
+                    end += 1;
+                }
+                for p in self.postings(TermId(term)) {
+                    let slot = p.doc.index();
+                    for &(_, r, j) in &users[start..end] {
+                        let row = &mut s.batch_rows[r as usize];
+                        let wd = p.tf as f64 * row.idf[j as usize];
+                        // Contributions are strictly positive, so a
+                        // zero accumulator means "untouched" (same
+                        // invariant as the dense kernel).
+                        if mp_stats::float::exact_zero(row.acc[slot]) {
+                            row.touched.push(p.doc.0);
+                        }
+                        row.acc[slot] += row.wq[j as usize] * wd;
+                    }
+                }
+                start = end;
+            }
+            // Per-request selection: the dense kernel's epilogue, run
+            // over each row's touched list in turn.
+            let mut docs_scored = 0u64;
+            for (slot, &qi) in members.iter().enumerate() {
+                let Scratch {
+                    ref mut batch_rows,
+                    ref mut topk,
+                    ..
+                } = *s;
+                let row = &mut batch_rows[slot];
+                if mp_stats::float::exact_zero(row.qnorm) {
+                    continue; // stays empty, like the per-query early return
+                }
+                topk.reset(k);
+                for i in 0..row.touched.len() {
+                    let d = row.touched[i] as usize;
+                    let dot = row.acc[d];
+                    row.acc[d] = 0.0; // restore the all-zero invariant
+                    let dnorm = self.doc_norms[d];
+                    if dnorm > 0.0 {
+                        topk.offer(ScoredDoc {
+                            doc: DocId(row.touched[i]),
+                            score: dot / (row.qnorm * dnorm),
+                        });
+                    }
+                }
+                docs_scored += u64::try_from(row.touched.len()).unwrap_or(0);
+                row.touched.clear();
+                results[qi] = topk.drain_sorted();
+            }
+            mp_obs::counter!("index.docs_scored").add(docs_scored);
+        });
+    }
+
+    /// Forces the shared dense traversal for **every** group — even
+    /// singletons (test hook: the production grouping routes singletons
+    /// to the per-query dispatch, but the shared kernel must agree
+    /// bitwise on any partition).
+    #[doc(hidden)]
+    pub fn cosine_topk_batch_shared_for_test(
+        &self,
+        queries: &[&[TermId]],
+        k: usize,
+    ) -> Vec<Vec<ScoredDoc>> {
+        let mut results: Vec<Vec<ScoredDoc>> = vec![Vec::new(); queries.len()];
+        if k == 0 || queries.is_empty() {
+            return results;
+        }
+        let all: Vec<usize> = (0..queries.len()).collect();
+        if all.len() == 1 {
+            results[0] = self.cosine_topk_dense_for_test(queries[0], k);
+        } else {
+            self.topk_dense_shared(&all, queries, k, &mut results);
+        }
+        results
+    }
+}
+
+/// Partitions batch members into connected components under the
+/// "shares ≥ 1 term" relation. Components come out in first-member
+/// order and each component lists its members in input order — fully
+/// deterministic (the interior maps are used for lookups only, never
+/// iterated).
+fn term_overlap_groups(queries: &[&[TermId]]) -> Vec<Vec<usize>> {
+    let n = queries.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: HashMap<u32, usize> = HashMap::new();
+    for (i, q) in queries.iter().enumerate() {
+        for t in *q {
+            match owner.get(&t.0) {
+                Some(&o) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, o));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    owner.insert(t.0, i);
+                }
+            }
+        }
+    }
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let g = *group_of.entry(root).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(terms: &[u32]) -> Vec<TermId> {
+        terms.iter().map(|&t| TermId(t)).collect()
+    }
+
+    #[test]
+    fn groups_partition_by_shared_terms() {
+        let a = q(&[1, 2]);
+        let b = q(&[3]);
+        let c = q(&[2, 9]);
+        let d = q(&[7]);
+        let queries: Vec<&[TermId]> = vec![&a, &b, &c, &d];
+        let groups = term_overlap_groups(&queries);
+        assert_eq!(groups, vec![vec![0, 2], vec![1], vec![3]]);
+    }
+
+    #[test]
+    fn transitive_overlap_merges_chains() {
+        // a—b share 2, b—c share 3: one component despite a∩c = ∅.
+        let a = q(&[1, 2]);
+        let b = q(&[2, 3]);
+        let c = q(&[3, 4]);
+        let queries: Vec<&[TermId]> = vec![&a, &b, &c];
+        assert_eq!(term_overlap_groups(&queries), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_queries_are_singletons() {
+        let a = q(&[]);
+        let b = q(&[1]);
+        let c = q(&[1]);
+        let queries: Vec<&[TermId]> = vec![&a, &b, &c];
+        assert_eq!(term_overlap_groups(&queries), vec![vec![0], vec![1, 2]]);
+    }
+}

@@ -206,7 +206,7 @@ impl InvertedIndex {
     /// norm. The qtf iteration order and the `qnorm` accumulation are
     /// exactly the historical kernel's, so all downstream scores keep
     /// their historical bit patterns.
-    fn prepare_query(&self, query: &[TermId], s: &mut Scratch) -> f64 {
+    pub(crate) fn prepare_query(&self, query: &[TermId], s: &mut Scratch) -> f64 {
         s.qterms.clear();
         s.qterms.extend(query.iter().map(|t| t.0));
         s.qterms.sort_unstable();

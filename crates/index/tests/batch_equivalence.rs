@@ -1,0 +1,162 @@
+//! Batched ↔ per-query kernel exactness.
+//!
+//! The batched kernel's contract: for every query in a batch, the
+//! returned ranking is **bit-identical** (documents, order, and every
+//! score's bit pattern) to running [`InvertedIndex::cosine_topk`] on
+//! that query alone — for any batch composition: disjoint term sets,
+//! identical queries, partial overlap, singletons, zero-norm and empty
+//! queries mixed in. The forced-shared hook additionally pins that the
+//! shared traversal itself (not just the production grouping, which
+//! routes singletons to the per-query path) agrees bitwise on every
+//! partition.
+
+use mp_index::{Document, IndexBuilder, InvertedIndex, ScoredDoc};
+use mp_text::TermId;
+use proptest::prelude::*;
+
+fn index_of(docs: &[Vec<u32>]) -> InvertedIndex {
+    let mut b = IndexBuilder::new();
+    for d in docs {
+        b.add(Document::from_terms(d.iter().map(|&i| TermId(i))));
+    }
+    b.build()
+}
+
+fn terms(raw: &[u32]) -> Vec<TermId> {
+    raw.iter().map(|&i| TermId(i)).collect()
+}
+
+fn assert_bit_identical(a: &[ScoredDoc], b: &[ScoredDoc], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "result lengths differ: {ctx}");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.doc, y.doc, "doc diverged: {ctx}");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "score bits diverged: {ctx}"
+        );
+    }
+}
+
+fn check_batch(idx: &InvertedIndex, queries: &[Vec<TermId>], k: usize) {
+    let refs: Vec<&[TermId]> = queries.iter().map(Vec::as_slice).collect();
+    let batched = idx.cosine_topk_batch(&refs, k);
+    assert_eq!(batched.len(), queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let solo = idx.cosine_topk(q, k);
+        assert_bit_identical(&batched[i], &solo, &format!("query {i} (grouped), k={k}"));
+    }
+    // Same contract with grouping forced off: one shared traversal over
+    // the entire batch, singletons included.
+    let forced = idx.cosine_topk_batch_shared_for_test(&refs, k);
+    for (i, q) in queries.iter().enumerate() {
+        let solo = idx.cosine_topk(q, k);
+        assert_bit_identical(
+            &forced[i],
+            &solo,
+            &format!("query {i} (forced shared), k={k}"),
+        );
+    }
+}
+
+#[test]
+fn identical_queries_share_everything() {
+    let idx = index_of(&[vec![1, 2, 3], vec![1, 2], vec![2, 4], vec![5]]);
+    let q = terms(&[1, 2]);
+    check_batch(&idx, &vec![q; 6], 3);
+}
+
+#[test]
+fn disjoint_queries_stay_exact() {
+    let idx = index_of(&[vec![1, 2], vec![3, 4], vec![5, 6], vec![1, 6]]);
+    let batch = vec![terms(&[1, 2]), terms(&[3, 4]), terms(&[5])];
+    check_batch(&idx, &batch, 2);
+}
+
+#[test]
+fn partial_overlap_chains_group_transitively() {
+    let idx = index_of(&[vec![1, 2, 3, 4], vec![2, 3], vec![4, 5], vec![1, 5]]);
+    // 0—1 share 2, 1—2 share 3, 3 disjoint from all.
+    let batch = vec![terms(&[1, 2]), terms(&[2, 3]), terms(&[3, 4]), terms(&[9])];
+    check_batch(&idx, &batch, 4);
+}
+
+#[test]
+fn zero_norm_and_empty_queries_stay_empty() {
+    let idx = index_of(&[vec![1, 2], vec![2]]);
+    // Term 99 is unseen: its idf is positive, but no postings exist, so
+    // the query still scores nothing; the empty query must stay empty.
+    let batch = vec![terms(&[]), terms(&[99]), terms(&[1, 2]), terms(&[2, 99])];
+    check_batch(&idx, &batch, 5);
+    let refs: Vec<&[TermId]> = batch.iter().map(Vec::as_slice).collect();
+    let out = idx.cosine_topk_batch(&refs, 5);
+    assert!(out[0].is_empty());
+    assert!(out[1].is_empty());
+    assert!(!out[2].is_empty());
+}
+
+#[test]
+fn k_zero_returns_all_empty() {
+    let idx = index_of(&[vec![1], vec![1, 2]]);
+    let batch = [terms(&[1]), terms(&[1, 2])];
+    let refs: Vec<&[TermId]> = batch.iter().map(Vec::as_slice).collect();
+    assert!(idx.cosine_topk_batch(&refs, 0).iter().all(Vec::is_empty));
+}
+
+#[test]
+fn batch_leaves_scratch_reusable() {
+    // Interleave batched and per-query calls on one thread: a batch
+    // that failed to restore the all-zero accumulator invariant (or
+    // clobbered the shared query tables) would corrupt later queries.
+    let idx = index_of(&[vec![1, 2, 3], vec![2, 3], vec![3, 4], vec![1, 4]]);
+    let a = terms(&[1, 2]);
+    let b = terms(&[3, 4]);
+    let solo_a = idx.cosine_topk(&a, 4);
+    let solo_b = idx.cosine_topk(&b, 4);
+    for _ in 0..3 {
+        let refs: Vec<&[TermId]> = vec![&a, &b, &a];
+        let batched = idx.cosine_topk_batch(&refs, 4);
+        assert_bit_identical(&batched[0], &solo_a, "a after reuse");
+        assert_bit_identical(&batched[1], &solo_b, "b after reuse");
+        assert_bit_identical(&batched[2], &solo_a, "a repeat after reuse");
+        assert_bit_identical(&idx.cosine_topk(&a, 4), &solo_a, "solo after batch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random batches over random collections: every member bit-equal
+    /// to its solo run, under both the production grouping and the
+    /// forced single shared traversal.
+    #[test]
+    fn prop_batched_matches_per_query_bitwise(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0u32..12, 1..12), 1..25),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(0u32..14, 0..5), 1..8),
+        k in 1usize..8
+    ) {
+        let idx = index_of(&docs);
+        let batch: Vec<Vec<TermId>> = queries.iter().map(|q| terms(q)).collect();
+        check_batch(&idx, &batch, k);
+    }
+
+    /// Skew pattern: many copies of one hot query plus a few cold ones
+    /// (the serve layer's target workload shape).
+    #[test]
+    fn prop_hot_key_batches_match(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0u32..10, 1..10), 1..20),
+        hot in proptest::collection::vec(0u32..10, 1..4),
+        cold in proptest::collection::vec(
+            proptest::collection::vec(0u32..10, 1..4), 0..3),
+        copies in 2usize..6,
+        k in 1usize..5
+    ) {
+        let idx = index_of(&docs);
+        let mut batch: Vec<Vec<TermId>> = vec![terms(&hot); copies];
+        batch.extend(cold.iter().map(|q| terms(q)));
+        check_batch(&idx, &batch, k);
+    }
+}

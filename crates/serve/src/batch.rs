@@ -1,0 +1,154 @@
+//! Pure batch-scheduling decisions: EDF ordering, the p99 shed
+//! predicate, and term-overlap grouping.
+//!
+//! Everything here is a pure function of its arguments — no clocks, no
+//! locks, no randomness (L13-clean by construction). The worker reads
+//! the clock **once** per drained batch ([`crate::Server`] computes the
+//! per-job remaining-deadline slack), then every scheduling decision is
+//! replayable arithmetic over those numbers, which is what lets the
+//! shed-policy tests drive the scheduler without a real clock.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Earliest-deadline-first execution order over a drained batch:
+/// indices sorted by remaining slack ascending, requests without a
+/// deadline last, ties broken by arrival (queue) order — so a
+/// deadline-free workload degenerates to plain FIFO and batching
+/// changes nothing about fairness.
+pub fn edf_order(remaining_us: &[Option<u64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..remaining_us.len()).collect();
+    // `None` sorts after every `Some` under Option's derived ordering
+    // only for `(bool, _)` keys; map explicitly to keep that intent
+    // readable. Stable sort preserves FIFO among ties.
+    order.sort_by_key(|&i| match remaining_us[i] {
+        Some(rem) => (false, rem),
+        None => (true, 0),
+    });
+    order
+}
+
+/// The SLO shedding predicate (evaluated per request, before any
+/// compute is spent on it): shed exactly when
+///
+/// * an SLO is configured (`shed_p99_us`),
+/// * the rolling p99 currently **violates** it (`rolling_p99_us >
+///   shed_p99_us` — a healthy server sheds nothing), and
+/// * this request's remaining deadline slack is smaller than the
+///   rolling p99 — i.e. a typical-tail completion would miss its
+///   deadline anyway, so computing it would burn capacity the backlog
+///   needs.
+///
+/// Requests without a deadline are never shed: with no SLO of their
+/// own, "would finish too late" is undefined for them.
+pub fn should_shed(
+    remaining_us: Option<u64>,
+    rolling_p99_us: u64,
+    shed_p99_us: Option<u64>,
+) -> bool {
+    match (remaining_us, shed_p99_us) {
+        (Some(remaining), Some(limit)) => rolling_p99_us > limit && remaining < rolling_p99_us,
+        _ => false,
+    }
+}
+
+/// Partitions a batch of term sets into connected components under
+/// "shares at least one term" (transitively closed): the groups whose
+/// members the batched engine can serve with shared postings
+/// traversals. Queries with no terms in common never land in one
+/// group, so grouping never forces unrelated work together.
+///
+/// Deterministic by construction: union-find with first-seen owners,
+/// components emitted in first-member order, members in input order —
+/// no hash-map iteration anywhere near the output.
+pub fn term_groups<T: Copy + Eq + Hash>(term_sets: &[&[T]]) -> Vec<Vec<usize>> {
+    let n = term_sets.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: HashMap<T, usize> = HashMap::new();
+    for (i, terms) in term_sets.iter().enumerate() {
+        for &t in *terms {
+            match owner.get(&t) {
+                Some(&o) => {
+                    let (a, b) = (find(&mut parent, o), find(&mut parent, i));
+                    if a != b {
+                        // Union toward the smaller root index so the
+                        // component representative is its first member.
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        parent[hi] = lo;
+                    }
+                }
+                None => {
+                    owner.insert(t, i);
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        match group_of.get(&root) {
+            Some(&g) => groups[g].push(i),
+            None => {
+                group_of.insert(root, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edf_orders_by_slack_with_fifo_ties_and_none_last() {
+        let remaining = [Some(50), None, Some(10), Some(50), None, Some(0)];
+        assert_eq!(edf_order(&remaining), vec![5, 2, 0, 3, 1, 4]);
+        assert_eq!(edf_order(&[]), Vec::<usize>::new());
+        assert_eq!(edf_order(&[None, None]), vec![0, 1], "pure FIFO");
+    }
+
+    #[test]
+    fn shed_requires_limit_deadline_and_violation() {
+        // No SLO configured: never shed.
+        assert!(!should_shed(Some(1), 1_000_000, None));
+        // No deadline on the request: never shed.
+        assert!(!should_shed(None, 1_000_000, Some(10)));
+        // SLO healthy (p99 at/below limit): never shed.
+        assert!(!should_shed(Some(1), 500, Some(500)));
+        // SLO violated but this request has slack >= p99: keep it.
+        assert!(!should_shed(Some(600), 600, Some(500)));
+        // SLO violated and the request cannot make it: shed.
+        assert!(should_shed(Some(599), 600, Some(500)));
+        assert!(should_shed(Some(0), 600, Some(500)));
+    }
+
+    #[test]
+    fn groups_partition_by_shared_terms() {
+        let sets: [&[u32]; 5] = [&[1, 2], &[3], &[2, 4], &[5], &[4, 3]];
+        // 0–2 share 2, 2–4 share 4, 4–1 share 3 → {0,1,2,4}, {3}.
+        assert_eq!(term_groups(&sets), vec![vec![0, 1, 2, 4], vec![3]]);
+    }
+
+    #[test]
+    fn disjoint_and_empty_sets_stay_singletons() {
+        let sets: [&[u32]; 4] = [&[1], &[], &[2], &[]];
+        assert_eq!(term_groups(&sets), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(term_groups::<u32>(&[]), Vec::<Vec<usize>>::new());
+    }
+
+    #[test]
+    fn identical_sets_form_one_group_in_input_order() {
+        let sets: [&[u32]; 3] = [&[7, 8], &[7, 8], &[8, 7]];
+        assert_eq!(term_groups(&sets), vec![vec![0, 1, 2]]);
+    }
+}

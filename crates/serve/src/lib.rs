@@ -17,9 +17,19 @@
 //!   [`MetasearchResult`](mp_core::MetasearchResult)s keyed by the full
 //!   request identity ([`CacheKey`]);
 //! * per-request **deadline checks** and a [`ServeStats`] snapshot
-//!   (hits / misses / dedup joins / rejects, p50/p99 latency on the
-//!   `mp_obs::bounds::LATENCY_US` buckets), mirrored into `mp-obs` for
-//!   the existing `--obs-json` export path.
+//!   (hits / misses / dedup joins / rejects / sheds, p50/p99 latency on
+//!   the `mp_obs::bounds::LATENCY_US` buckets), mirrored into `mp-obs`
+//!   for the existing `--obs-json` export path;
+//! * **term-sharing batched execution** ([`batch`]): with
+//!   [`ServeConfig::batch_window`] > 1 a worker drains up to a window
+//!   of queued requests at once, dedups identical keys, and runs the
+//!   remaining cold misses that share query terms through the batched
+//!   engine — one postings traversal per shared term — bit-identical
+//!   to per-request execution;
+//! * **SLO-aware scheduling**: batches execute earliest-deadline-first,
+//!   and with [`ServeConfig::shed_p99_ms`] set, requests whose
+//!   remaining deadline slack falls below a violated rolling p99 are
+//!   answered [`ServeError::Shed`] before any compute is spent on them.
 //!
 //! **Determinism contract.** Serving is a scheduler, not a computation:
 //! for any worker count and any cache configuration, the response to a
@@ -45,13 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 mod pool;
 pub mod queue;
 mod server;
 mod stats;
 
-pub use cache::{CacheOutcome, LruCache, ShardedCache};
+pub use cache::{CacheOutcome, Claim, FlightWaiter, Lease, LruCache, ShardedCache};
 pub use queue::{BoundedQueue, TryPushError};
 pub use server::{
     Backend, CacheKey, CacheStatus, Client, PolicySpec, ServeConfig, ServeError, ServeRequest,

@@ -39,6 +39,7 @@ pub(crate) fn run_scoped<R>(server: &Server, driver: impl FnOnce(&Client<'_>) ->
     // Databases hiding their size fall back to lazy growth on first
     // contact.
     let warm_docs = server.backend().max_size_hint();
+    let window = server.config().batch_window.max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
@@ -51,9 +52,29 @@ pub(crate) fn run_scoped<R>(server: &Server, driver: impl FnOnce(&Client<'_>) ->
                     job.depth_at_dequeue = depth;
                     mp_obs::gauge!("serve.queue_depth").set(i64::from(depth));
                     let inflight = mp_obs::gauge!("serve.inflight");
-                    inflight.adjust(1);
-                    server.handle(job);
-                    inflight.adjust(-1);
+                    if window == 1 {
+                        inflight.adjust(1);
+                        server.handle(job);
+                        inflight.adjust(-1);
+                        continue;
+                    }
+                    // Batch drain: the blocking pop above anchors the
+                    // batch; the rest of the window is whatever is
+                    // already queued (`try_pop` never sleeps), so an
+                    // idle server still answers immediately.
+                    let mut batch = vec![job];
+                    while batch.len() < window {
+                        let Some(mut next) = queue.try_pop() else {
+                            break;
+                        };
+                        next.depth_at_dequeue = u32::try_from(queue.len()).unwrap_or(u32::MAX);
+                        batch.push(next);
+                    }
+                    let size = i64::try_from(batch.len()).unwrap_or(i64::MAX);
+                    mp_obs::gauge!("serve.batch_size").set(size);
+                    inflight.adjust(size);
+                    server.handle_batch(batch);
+                    inflight.adjust(-size);
                 }
             });
         }

@@ -32,7 +32,7 @@ use mp_core::{AproConfig, CorrectnessMetric, MetasearchResult, Metasearcher, Sha
 use mp_stats::Discrete;
 use mp_workload::Query;
 
-use crate::cache::{CacheOutcome, ShardedCache};
+use crate::cache::{CacheOutcome, Claim, FlightWaiter, ShardedCache};
 use crate::pool;
 use crate::queue::BoundedQueue;
 use crate::stats::{ServeStats, StatsCore};
@@ -218,6 +218,11 @@ pub enum ServeError {
     Overload,
     /// The request's deadline passed before a worker picked it up.
     DeadlineExceeded,
+    /// SLO shedding: the rolling p99 violated the configured limit
+    /// ([`ServeConfig::shed_p99_ms`]) and this request's remaining
+    /// deadline slack was below that p99, so computing it would have
+    /// burned capacity on an answer that would arrive too late anyway.
+    Shed,
     /// The serving session shut down before the request ran.
     Closed,
 }
@@ -227,6 +232,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Overload => write!(f, "request queue full (overload)"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServeError::Shed => write!(f, "shed by SLO scheduler (p99 over limit)"),
             ServeError::Closed => write!(f, "serving session closed"),
         }
     }
@@ -259,6 +265,21 @@ pub struct ServeConfig {
     /// Flights (slow / deadline-missed / shed traces) the flight
     /// recorder retains; 0 disables it.
     pub flight_recorder_cap: usize,
+    /// Maximum requests a worker drains from the queue into one batch
+    /// (min 1; 1 = per-request execution, the classic path). A worker
+    /// blocks for the *first* request only — the rest of the window is
+    /// whatever is already queued, so an idle server never waits to
+    /// fill a batch. Cold misses inside a batch that share query terms
+    /// are executed through the batched engine (one postings traversal
+    /// per shared term), bit-identical to per-request execution.
+    pub batch_window: usize,
+    /// SLO shed limit: when set, a request whose remaining deadline
+    /// slack is below the rolling p99 latency while that p99 exceeds
+    /// this limit is answered [`ServeError::Shed`] instead of computed.
+    /// `None` disables shedding. Deadline-free requests are never shed.
+    /// The rolling p99 is obs-gated: with recording off it reads 0 and
+    /// nothing sheds.
+    pub shed_p99_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -272,6 +293,8 @@ impl Default for ServeConfig {
             fuse_limit: 10,
             trace: false,
             flight_recorder_cap: 16,
+            batch_window: 1,
+            shed_p99_ms: None,
         }
     }
 }
@@ -292,6 +315,20 @@ impl ServeConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the batch window (see [`ServeConfig::batch_window`]).
+    #[must_use]
+    pub fn with_batch_window(mut self, window: usize) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Sets the SLO shed limit (see [`ServeConfig::shed_p99_ms`]).
+    #[must_use]
+    pub fn with_shed_p99_ms(mut self, limit_ms: Option<u64>) -> Self {
+        self.shed_p99_ms = limit_ms;
         self
     }
 }
@@ -480,6 +517,17 @@ impl Backend {
         }
     }
 
+    fn search_batch_with_rds(
+        &self,
+        items: Vec<mp_core::BatchQuery<'_>>,
+        fuse_limit: usize,
+    ) -> Vec<MetasearchResult> {
+        match self {
+            Backend::Flat(ms) => ms.search_batch_with_rds(items, fuse_limit),
+            Backend::Sharded(sms) => sms.search_batch_with_rds(items, fuse_limit),
+        }
+    }
+
     /// The fleet-wide scratch warm target: the largest advertised
     /// database size across *every* shard. The pool once read a single
     /// global mediator here — a latent single-owner assumption that
@@ -664,7 +712,8 @@ impl Server {
             mp_obs::trace_annotate("serve.queue_depth_at_dequeue", u64::from(depth_at_dequeue));
         }
         if let Some(deadline) = req.deadline {
-            if submitted.elapsed() > deadline {
+            let elapsed = submitted.elapsed();
+            if elapsed > deadline {
                 self.stats.deadline_miss();
                 if let Some(finished) = scope.and_then(mp_obs::TraceScope::finish) {
                     let latency_us = queue_wait_ns / 1_000;
@@ -674,6 +723,14 @@ impl Server {
                 }
                 slot.fill(Err(ServeError::DeadlineExceeded));
                 return;
+            }
+            if self.config.shed_p99_ms.is_some() {
+                let remaining_us =
+                    u64::try_from((deadline - elapsed).as_micros()).unwrap_or(u64::MAX);
+                if self.should_shed(Some(remaining_us)) {
+                    self.shed_job(scope, queue_wait_ns, &slot);
+                    return;
+                }
             }
         }
         let (result, status) = {
@@ -716,6 +773,289 @@ impl Server {
             cache: status,
             latency_us,
         }));
+    }
+
+    /// Whether the SLO scheduler sheds a request with this much
+    /// remaining deadline slack right now (see [`crate::batch`]).
+    fn should_shed(&self, remaining_us: Option<u64>) -> bool {
+        let Some(limit_ms) = self.config.shed_p99_ms else {
+            return false;
+        };
+        crate::batch::should_shed(
+            remaining_us,
+            self.stats.rolling_p99_us(),
+            Some(limit_ms.saturating_mul(1_000)),
+        )
+    }
+
+    /// Rejects one job as shed: stats, flight-recorder entry, error.
+    fn shed_job(&self, scope: Option<mp_obs::TraceScope>, queue_wait_ns: u64, slot: &ResponseSlot) {
+        self.stats.shed();
+        if scope.is_some() {
+            mp_obs::trace_annotate("serve.shed", 1);
+        }
+        if let Some(finished) = scope.and_then(mp_obs::TraceScope::finish) {
+            self.sink.push(finished.clone());
+            self.recorder
+                .offer(finished, queue_wait_ns / 1_000, mp_obs::FlightReason::Shed);
+        }
+        slot.fill(Err(ServeError::Shed));
+    }
+
+    /// Test hook: stages a tail-latency observation in the rolling
+    /// window (stats counters untouched), so shed-policy tests can
+    /// simulate a p99 regression without sleeping through one.
+    #[doc(hidden)]
+    pub fn record_window_latency_for_test(&self, latency_us: u64) {
+        self.stats.record_window_latency(latency_us);
+    }
+
+    /// Executes one drained batch of jobs: EDF-ordered admission
+    /// (deadline check, SLO shed), cache claims, then every cold miss
+    /// in the batch computed through the **batched engine** — misses
+    /// sharing query terms share postings traversals — and finally the
+    /// per-job responses. Called from worker threads when
+    /// [`ServeConfig::batch_window`] > 1.
+    ///
+    /// Responses are bit-identical to feeding the same jobs through
+    /// [`Server::handle`] one at a time: admission decisions are
+    /// per-job, dedup joins hand back the leader's exact value, and the
+    /// batched engine is bit-identical to per-request execution
+    /// (`mp-core`'s batch-equivalence contract).
+    ///
+    /// **Deadlock freedom.** A worker claims leadership (leases) for
+    /// its own cold keys, computes and fulfills them all, and only
+    /// *then* blocks on flights led by other workers — it never sleeps
+    /// on a foreign flight while holding an unfulfilled lease.
+    pub(crate) fn handle_batch(&self, mut jobs: Vec<Job>) {
+        if jobs.len() == 1 {
+            return self.handle(jobs.pop().expect("len checked"));
+        }
+        let _span = mp_obs::span!("serve.batch");
+        let n = jobs.len();
+        self.stats.batch(n);
+        // One clock read for the whole batch: every scheduling decision
+        // below is pure arithmetic over these slacks (crate::batch).
+        let now = Instant::now();
+        let remaining_us: Vec<Option<u64>> = jobs
+            .iter()
+            .map(|job| {
+                job.req.deadline.map(|d| {
+                    let elapsed = now.duration_since(job.submitted);
+                    u64::try_from(d.saturating_sub(elapsed).as_micros()).unwrap_or(u64::MAX)
+                })
+            })
+            .collect();
+        let expired: Vec<bool> = jobs
+            .iter()
+            .map(|job| {
+                job.req
+                    .deadline
+                    .is_some_and(|d| now.duration_since(job.submitted) > d)
+            })
+            .collect();
+        let order = crate::batch::edf_order(&remaining_us);
+        let shed_limit_us = self.config.shed_p99_ms.map(|ms| ms.saturating_mul(1_000));
+        let rolling_p99_us = if shed_limit_us.is_some() {
+            self.stats.rolling_p99_us()
+        } else {
+            0
+        };
+
+        // Per-job resolution state, filled in EDF order.
+        let mut errors: Vec<Option<ServeError>> = (0..n).map(|_| None).collect();
+        let mut resolved: Vec<Option<(MetasearchResult, CacheStatus)>> =
+            (0..n).map(|_| None).collect();
+        let mut waiters: Vec<Option<FlightWaiter<MetasearchResult>>> =
+            (0..n).map(|_| None).collect();
+        let mut leases = Vec::new();
+        let mut dup_of: Vec<Option<usize>> = (0..n).map(|_| None).collect();
+        let mut cold: Vec<usize> = Vec::new();
+        let mut rep_of: std::collections::HashMap<CacheKey, usize> =
+            std::collections::HashMap::new();
+        for _ in 0..n {
+            leases.push(None);
+        }
+        for &j in &order {
+            if expired[j] {
+                errors[j] = Some(ServeError::DeadlineExceeded);
+                continue;
+            }
+            if crate::batch::should_shed(remaining_us[j], rolling_p99_us, shed_limit_us) {
+                errors[j] = Some(ServeError::Shed);
+                continue;
+            }
+            if !self.results.is_active() {
+                // Caching off: no dedup (matching the per-request
+                // bypass), but cold computation still batches below.
+                cold.push(j);
+                continue;
+            }
+            let key = CacheKey::of(&jobs[j].req);
+            if let Some(&rep) = rep_of.get(&key) {
+                // In-batch duplicate: resolved from its representative
+                // after the cold pass — never a second claim (which
+                // would deadlock a worker on its own flight).
+                dup_of[j] = Some(rep);
+                continue;
+            }
+            match self.results.get_or_claim(key.clone()) {
+                Claim::Cached(v) => resolved[j] = Some((v, CacheStatus::Hit)),
+                Claim::Pending(w) => waiters[j] = Some(w),
+                Claim::Lease(lease) => {
+                    leases[j] = Some(lease);
+                    cold.push(j);
+                }
+            }
+            rep_of.insert(key, j);
+        }
+
+        // Cold pass: group the misses by shared query terms and run
+        // each component through the batched engine. RD vectors come
+        // from the query-keyed cache exactly as on the per-request path.
+        if !cold.is_empty() {
+            let term_refs: Vec<&[_]> = cold.iter().map(|&j| jobs[j].req.query.terms()).collect();
+            for group in crate::batch::term_groups(&term_refs) {
+                let items: Vec<mp_core::BatchQuery<'_>> = group
+                    .iter()
+                    .map(|&gi| {
+                        let req = &jobs[cold[gi]].req;
+                        let (rds, rd_outcome) = self
+                            .rds
+                            .get_or_compute(req.query.clone(), || self.ms.rds(&req.query));
+                        self.stats.rd_lookup(rd_outcome == CacheOutcome::Hit);
+                        mp_core::BatchQuery {
+                            query: &req.query,
+                            rds,
+                            config: req.apro_config(),
+                            policy: req.policy.build(),
+                        }
+                    })
+                    .collect();
+                let results = self.ms.search_batch_with_rds(items, self.config.fuse_limit);
+                for (&gi, result) in group.iter().zip(results) {
+                    let j = cold[gi];
+                    let status = match leases[j].take() {
+                        Some(lease) => {
+                            lease.fulfill(result.clone());
+                            CacheStatus::Miss
+                        }
+                        None => CacheStatus::Bypass,
+                    };
+                    resolved[j] = Some((result, status));
+                }
+            }
+        }
+
+        // Only now — every own lease fulfilled — block on flights led
+        // by other workers. An abandoned flight (leader panicked) falls
+        // back to the ordinary compute-or-join path.
+        for j in 0..n {
+            let Some(waiter) = waiters[j].take() else {
+                continue;
+            };
+            let (result, status) = match waiter.wait() {
+                Some(v) => (v, CacheStatus::Joined),
+                None => {
+                    let key = CacheKey::of(&jobs[j].req);
+                    let (v, outcome) = self
+                        .results
+                        .get_or_compute(key, || self.compute(&jobs[j].req));
+                    let status = match outcome {
+                        CacheOutcome::Hit => CacheStatus::Hit,
+                        CacheOutcome::Computed => CacheStatus::Miss,
+                        CacheOutcome::Joined => CacheStatus::Joined,
+                    };
+                    (v, status)
+                }
+            };
+            resolved[j] = Some((result, status));
+        }
+
+        // In-batch duplicates clone their representative's value: a
+        // dedup join in the single-flight sense, except nobody slept.
+        for j in 0..n {
+            let Some(rep) = dup_of[j] else { continue };
+            let (v, rep_status) = resolved[rep]
+                .clone()
+                .expect("a duplicate's representative always resolves");
+            let status = if rep_status == CacheStatus::Hit {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Joined
+            };
+            resolved[j] = Some((v, status));
+        }
+
+        // Response pass: per-job stats, trace, and slot fill, in queue
+        // order. Each traced job gets its own scope anchored at its
+        // submit instant, so waterfalls still start with the queue wait.
+        let batch_size = u64::try_from(n).unwrap_or(u64::MAX);
+        for (j, job) in jobs.into_iter().enumerate() {
+            let Job {
+                req: _,
+                submitted,
+                slot,
+                trace,
+                depth_at_submit,
+                depth_at_dequeue,
+            } = job;
+            let queue_wait_ns =
+                u64::try_from(now.duration_since(submitted).as_nanos()).unwrap_or(u64::MAX);
+            let scope = self
+                .config
+                .trace
+                .then(|| mp_obs::TraceScope::begin(trace, submitted));
+            if scope.is_some() {
+                mp_obs::trace_stage("serve.queue_wait", 0, queue_wait_ns);
+                mp_obs::trace_annotate("serve.queue_depth_at_submit", u64::from(depth_at_submit));
+                mp_obs::trace_annotate("serve.queue_depth_at_dequeue", u64::from(depth_at_dequeue));
+                mp_obs::trace_annotate("serve.batch_size", batch_size);
+            }
+            match errors[j] {
+                Some(ServeError::DeadlineExceeded) => {
+                    self.stats.deadline_miss();
+                    if let Some(finished) = scope.and_then(mp_obs::TraceScope::finish) {
+                        self.sink.push(finished.clone());
+                        self.recorder.offer(
+                            finished,
+                            queue_wait_ns / 1_000,
+                            mp_obs::FlightReason::DeadlineMissed,
+                        );
+                    }
+                    slot.fill(Err(ServeError::DeadlineExceeded));
+                }
+                Some(ServeError::Shed) => {
+                    self.shed_job(scope, queue_wait_ns, &slot);
+                }
+                Some(err) => slot.fill(Err(err)),
+                None => {
+                    let (result, status) = resolved[j].take().expect("every admitted job resolves");
+                    if scope.is_some() {
+                        let status_name = match status {
+                            CacheStatus::Hit => "serve.cache_hit",
+                            CacheStatus::Miss => "serve.cache_miss",
+                            CacheStatus::Joined => "serve.dedup_join",
+                            CacheStatus::Bypass => "serve.cache_bypass",
+                        };
+                        mp_obs::trace_annotate(status_name, 1);
+                    }
+                    let latency_us =
+                        u64::try_from(submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    self.stats.complete(status, latency_us);
+                    if let Some(finished) = scope.and_then(mp_obs::TraceScope::finish) {
+                        self.sink.push(finished.clone());
+                        self.recorder
+                            .offer(finished, latency_us, mp_obs::FlightReason::Slow);
+                    }
+                    slot.fill(Ok(ServeResponse {
+                        result,
+                        cache: status,
+                        latency_us,
+                    }));
+                }
+            }
+        }
     }
 }
 

@@ -44,6 +44,15 @@ pub struct ServeStats {
     pub rejects: u64,
     /// Requests dropped because their deadline had passed.
     pub deadline_misses: u64,
+    /// Requests shed by the SLO scheduler: the rolling p99 violated the
+    /// configured limit and the request's remaining deadline slack was
+    /// below that p99 (see [`crate::batch::should_shed`]).
+    pub sheds: u64,
+    /// Multi-request batches executed (batches of one are just the
+    /// per-request path and are not counted).
+    pub batches: u64,
+    /// Requests that arrived at a worker inside a multi-request batch.
+    pub batched_requests: u64,
     /// Completed-request latencies: observation count.
     pub latency_count: u64,
     /// Sum of latencies, microseconds.
@@ -86,6 +95,9 @@ pub(crate) struct StatsCore {
     rd_misses: StripedU64,
     rejects: StripedU64,
     deadline_misses: StripedU64,
+    sheds: StripedU64,
+    batches: StripedU64,
+    batched_requests: StripedU64,
     latency_sum_us: StripedU64,
     latency_max_us: AtomicU64,
     latency_buckets: Vec<StripedU64>,
@@ -109,6 +121,9 @@ impl StatsCore {
             rd_misses: StripedU64::new(),
             rejects: StripedU64::new(),
             deadline_misses: StripedU64::new(),
+            sheds: StripedU64::new(),
+            batches: StripedU64::new(),
+            batched_requests: StripedU64::new(),
             latency_sum_us: StripedU64::new(),
             latency_max_us: AtomicU64::new(0),
             latency_buckets: (0..=BOUNDS.len()).map(|_| StripedU64::new()).collect(),
@@ -139,6 +154,35 @@ impl StatsCore {
     pub(crate) fn deadline_miss(&self) {
         self.deadline_misses.incr();
         mp_obs::counter!("serve.deadline_misses").incr();
+    }
+
+    pub(crate) fn shed(&self) {
+        self.sheds.incr();
+        mp_obs::counter!("serve.sheds").incr();
+    }
+
+    /// Records one multi-request batch of `size` requests.
+    pub(crate) fn batch(&self, size: usize) {
+        self.batches.incr();
+        self.batched_requests.add(u64::try_from(size).unwrap_or(0));
+        mp_obs::counter!("serve.batches").incr();
+        mp_obs::counter!("serve.batched_requests").add(u64::try_from(size).unwrap_or(0));
+    }
+
+    /// The rolling p99 the shed predicate consults. Obs-gated like all
+    /// window reads: 0 (never sheds) when recording is off.
+    pub(crate) fn rolling_p99_us(&self) -> u64 {
+        self.window
+            .rolling("serve.latency_us.rolling", WINDOW_SLOTS)
+            .approx_quantile(0.99)
+    }
+
+    /// Test hook: feeds one latency observation into the rolling window
+    /// (and only the window — no completion counters), so shed-policy
+    /// tests can stage a tail-latency regression without sleeping.
+    #[doc(hidden)]
+    pub(crate) fn record_window_latency(&self, latency_us: u64) {
+        self.window.record(latency_us);
     }
 
     pub(crate) fn rd_lookup(&self, hit: bool) {
@@ -207,6 +251,9 @@ impl StatsCore {
             rd_misses: self.rd_misses.get(),
             rejects: self.rejects.get(),
             deadline_misses: self.deadline_misses.get(),
+            sheds: self.sheds.get(),
+            batches: self.batches.get(),
+            batched_requests: self.batched_requests.get(),
             latency_count,
             latency_sum_us: row.sum,
             latency_max_us,
@@ -244,11 +291,14 @@ mod tests {
         core.complete(CacheStatus::Bypass, 30);
         core.reject();
         core.deadline_miss();
+        core.shed();
+        core.batch(3);
         let s = core.snapshot();
         assert_eq!(s.completed, 4);
         assert_eq!(s.hits + s.misses + s.dedup_joins, s.completed);
         assert_eq!((s.hits, s.misses, s.dedup_joins), (1, 2, 1));
-        assert_eq!((s.rejects, s.deadline_misses), (1, 1));
+        assert_eq!((s.rejects, s.deadline_misses, s.sheds), (1, 1, 1));
+        assert_eq!((s.batches, s.batched_requests), (1, 3));
         assert_eq!(s.latency_count, 4);
         assert_eq!(s.latency_sum_us, 160);
         assert_eq!(s.latency_max_us, 100);

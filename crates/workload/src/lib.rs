@@ -11,15 +11,20 @@
 //! * [`QueryGenerator`] — seeded topic-driven generation;
 //! * [`QueryTrace`] — a query set with helpers, including the
 //!   train/test **disjoint split** the paper uses (`Q_train` learns EDs;
-//!   `Q_test` measures correctness; no overlap).
+//!   `Q_test` measures correctness; no overlap);
+//! * [`openloop`] — deterministic open-loop arrival schedules with
+//!   Zipf hot-key skew, for serving benchmarks that need a fixed
+//!   offered rate instead of a closed submit-wait loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod openloop;
 pub mod query;
 pub mod trace;
 
 pub use generator::{QueryGenConfig, QueryGenerator};
+pub use openloop::{arrivals, Arrival, OpenLoopConfig};
 pub use query::Query;
 pub use trace::{QueryTrace, TrainTestSplit};
